@@ -1,0 +1,1 @@
+//! Bench crate: harnesses and integration tests live in benches/ and ../../tests/.

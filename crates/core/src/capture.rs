@@ -1,0 +1,81 @@
+//! The runtime state a rank publishes at quiesce — everything the upper
+//! half must carry across a restart besides the application's own data.
+//!
+//! In MANA this is implicit in the upper-half memory dump; here it is an
+//! explicit, inspectable structure, which also lets tests assert exactly
+//! what a checkpoint preserves (sequence tables, communicator creation log,
+//! pending receives, a 2PC pending barrier) and exactly what it discards
+//! (lower-half handles).
+
+use crate::counters::CallCounters;
+use crate::seq::SeqTable;
+use crate::virt::CommOpRecord;
+use mpisim::types::CommId;
+use mpisim::{SrcSel, TagSel, VTime};
+use std::collections::HashMap;
+
+/// A pending (unmatched) receive recorded in the image and re-posted at
+/// restart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingRecv {
+    /// Virtual request id the application holds.
+    pub vreq: u64,
+    /// Virtual communicator id.
+    pub vcomm: u64,
+    /// Source selector.
+    pub src: SrcSel,
+    /// Tag selector.
+    pub tag: TagSel,
+}
+
+/// Per-rank runtime capture, published into
+/// [`crate::control::RankCtl::capture_slot`] at quiesce.
+#[derive(Debug, Clone)]
+pub struct RuntimeCapture {
+    /// World rank.
+    pub rank: usize,
+    /// Virtual clock at capture.
+    pub clock: VTime,
+    /// The rank's `SEQ[]` table (survives restart: upper-half state).
+    pub seq_table: SeqTable,
+    /// Ordered communicator-creation log for restart replay.
+    pub comm_log: Vec<CommOpRecord>,
+    /// Pending receives to re-post.
+    pub pending_recvs: Vec<PendingRecv>,
+    /// 2PC: trivial barrier the rank sat in `(vcomm, collective ordinal)`;
+    /// re-issued at restart per the paper's §2.2.
+    pub pending_barrier: Option<(u64, u64)>,
+    /// Interposition counters at capture (diagnostics / Table 1).
+    pub counters: CallCounters,
+    /// Current-generation mapping vcomm → lower CommId, used by the
+    /// coordinator to translate drained in-flight messages into
+    /// restart-stable [`mpisim::SavedMsg`] form.
+    pub vcomm_to_lower: HashMap<u64, CommId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_is_cloneable_and_inspectable() {
+        let cap = RuntimeCapture {
+            rank: 3,
+            clock: VTime::from_micros(10.0),
+            seq_table: SeqTable::new(),
+            comm_log: vec![],
+            pending_recvs: vec![PendingRecv {
+                vreq: 1,
+                vcomm: 0,
+                src: SrcSel::Any,
+                tag: TagSel::Tag(5),
+            }],
+            pending_barrier: None,
+            counters: CallCounters::default(),
+            vcomm_to_lower: HashMap::new(),
+        };
+        let c2 = cap.clone();
+        assert_eq!(c2.rank, 3);
+        assert_eq!(c2.pending_recvs.len(), 1);
+    }
+}

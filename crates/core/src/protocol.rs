@@ -1,0 +1,65 @@
+//! Protocol selection: Native (no checkpointing), the paper's CC
+//! algorithm, or MANA's original 2PC baseline.
+
+/// Which checkpoint coordination protocol the wrapper layer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// No checkpoint support; pure interposition pass-through. Used as the
+    /// "native" baseline in every experiment.
+    Native,
+    /// The collective-clock algorithm (paper §4): per-group sequence
+    /// numbers, target drain at checkpoint time, non-blocking collectives
+    /// supported.
+    Cc,
+    /// MANA 2019's two-phase-commit baseline (§2.2): a trivial barrier
+    /// (`MPI_Ibarrier` + `MPI_Test` loop) in front of every blocking
+    /// collective. Does **not** support non-blocking collectives.
+    TwoPhase,
+}
+
+impl Protocol {
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Native => "Native",
+            Protocol::Cc => "CC",
+            Protocol::TwoPhase => "2PC",
+        }
+    }
+
+    /// Whether the protocol can checkpoint at all.
+    pub fn supports_checkpoint(self) -> bool {
+        !matches!(self, Protocol::Native)
+    }
+
+    /// Whether non-blocking collective operations are supported (the
+    /// paper's point of novelty #2; 2PC must refuse).
+    pub fn supports_nonblocking_collectives(self) -> bool {
+        match self {
+            Protocol::Native | Protocol::Cc => true,
+            Protocol::TwoPhase => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Protocol::Cc.name(), "CC");
+        assert_eq!(Protocol::TwoPhase.name(), "2PC");
+        assert_eq!(Protocol::Native.name(), "Native");
+    }
+
+    #[test]
+    fn capabilities() {
+        assert!(Protocol::Cc.supports_nonblocking_collectives());
+        assert!(!Protocol::TwoPhase.supports_nonblocking_collectives());
+        assert!(Protocol::Native.supports_nonblocking_collectives());
+        assert!(!Protocol::Native.supports_checkpoint());
+        assert!(Protocol::Cc.supports_checkpoint());
+        assert!(Protocol::TwoPhase.supports_checkpoint());
+    }
+}

@@ -1,0 +1,587 @@
+//! Collective rendezvous instances: the data plane and timing plane of
+//! every blocking or non-blocking collective call.
+//!
+//! Each collective call on a communicator is identified by `(comm id,
+//! per-comm sequence)` — MPI requires all members to issue collectives on a
+//! communicator in the same order, so local counters agree globally. The
+//! first participant to arrive creates the [`CollInstance`]; the last one
+//! *completes* it: it computes every participant's exit time with the
+//! [`netmodel`] cost model and combines the data contributions.
+//!
+//! Blocking callers park on the instance condvar until completion.
+//! Non-blocking callers hold the instance inside an `MPI_Request` and poll
+//! it with `test`/`wait` — once all participants have *initiated*, the
+//! operation completes "in background" at its modelled time, independent of
+//! further MPI activity, exactly the progress guarantee of MPI Example 6.36
+//! that the paper's §4.3 relies on.
+
+use crate::dtype::DType;
+use crate::group::Group;
+use crate::reduce_op::ReduceOp;
+use crate::types::CommId;
+use bytes::Bytes;
+use netmodel::collectives::CollCtx;
+use netmodel::{CollOp, NetParams, Topology, VTime};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Reduction specification for reducing collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedSpec {
+    /// Element type.
+    pub dtype: DType,
+    /// Operator.
+    pub op: ReduceOp,
+}
+
+/// One collective call in flight.
+pub struct CollInstance {
+    /// (comm, per-comm collective ordinal).
+    pub key: (CommId, u64),
+    op: CollOp,
+    root: usize,
+    red: Option<RedSpec>,
+    world_ranks: Vec<usize>,
+    instance_id: u64,
+    params: Arc<NetParams>,
+    topo: Topology,
+    state: Mutex<InstState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct InstState {
+    entries: Vec<Option<VTime>>,
+    contribs: Vec<Option<Bytes>>,
+    arrived: usize,
+    taken: usize,
+    done: Option<DoneState>,
+}
+
+struct DoneState {
+    exits: Vec<VTime>,
+    outputs: Vec<Option<Bytes>>,
+}
+
+/// Result of one rank's participation.
+#[derive(Debug, Clone)]
+pub struct CollResult {
+    /// Virtual time at which this rank exits the collective.
+    pub exit: VTime,
+    /// This rank's output payload (empty where MPI specifies none).
+    pub data: Bytes,
+    /// Whether this caller was the last to collect (instance can be
+    /// retired from the registry).
+    pub last: bool,
+}
+
+impl CollInstance {
+    fn new(
+        key: (CommId, u64),
+        op: CollOp,
+        root: usize,
+        red: Option<RedSpec>,
+        group: &Group,
+        instance_id: u64,
+        params: Arc<NetParams>,
+        topo: Topology,
+    ) -> Self {
+        let p = group.size();
+        CollInstance {
+            key,
+            op,
+            root,
+            red,
+            world_ranks: group.members().to_vec(),
+            instance_id,
+            params,
+            topo,
+            state: Mutex::new(InstState {
+                entries: vec![None; p],
+                contribs: vec![None; p],
+                ..Default::default()
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The operation of this instance.
+    pub fn op(&self) -> CollOp {
+        self.op
+    }
+
+    /// Number of participants.
+    pub fn size(&self) -> usize {
+        self.world_ranks.len()
+    }
+
+    /// Registers participant `group_rank` entering at `entry` with
+    /// `contrib`. Completes the instance if this is the last participant.
+    ///
+    /// # Panics
+    /// Panics on double entry or on op/root/reduction mismatch across
+    /// participants (erroneous MPI programs).
+    pub fn enter(
+        &self,
+        group_rank: usize,
+        entry: VTime,
+        contrib: Bytes,
+        op: CollOp,
+        root: usize,
+        red: Option<RedSpec>,
+    ) {
+        assert_eq!(
+            op, self.op,
+            "collective mismatch on {:?}: rank called {:?}, instance is {:?}",
+            self.key, op, self.op
+        );
+        assert_eq!(
+            root, self.root,
+            "root mismatch on {:?} ({:?})",
+            self.key, self.op
+        );
+        assert_eq!(
+            red, self.red,
+            "reduction spec mismatch on {:?} ({:?})",
+            self.key, self.op
+        );
+        let mut st = self.state.lock();
+        assert!(
+            st.entries[group_rank].is_none(),
+            "rank {group_rank} entered collective {:?} twice",
+            self.key
+        );
+        st.entries[group_rank] = Some(entry);
+        st.contribs[group_rank] = Some(contrib);
+        st.arrived += 1;
+        if st.arrived == self.size() {
+            self.complete(&mut st);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Whether all participants have entered (the operation then has a
+    /// defined completion time for each rank).
+    pub fn is_complete(&self) -> bool {
+        self.state.lock().done.is_some()
+    }
+
+    /// This rank's exit (completion) time, if the instance is complete.
+    pub fn exit_of(&self, group_rank: usize) -> Option<VTime> {
+        self.state
+            .lock()
+            .done
+            .as_ref()
+            .map(|d| d.exits[group_rank])
+    }
+
+    /// Blocks (wall-clock) until completion, then collects this rank's
+    /// result. Used by blocking collectives and `MPI_Wait`.
+    pub fn wait_and_take(&self, group_rank: usize) -> CollResult {
+        let mut st = self.state.lock();
+        while st.done.is_none() {
+            self.cv.wait(&mut st);
+        }
+        Self::take_locked(&mut st, group_rank, self.size())
+    }
+
+    /// Non-blocking collection: returns the result if complete.
+    pub fn try_take(&self, group_rank: usize) -> Option<CollResult> {
+        let mut st = self.state.lock();
+        if st.done.is_none() {
+            return None;
+        }
+        Some(Self::take_locked(&mut st, group_rank, self.size()))
+    }
+
+    fn take_locked(st: &mut InstState, group_rank: usize, p: usize) -> CollResult {
+        let done = st.done.as_mut().expect("checked complete");
+        let data = done.outputs[group_rank]
+            .take()
+            .expect("rank collected twice");
+        let exit = done.exits[group_rank];
+        st.taken += 1;
+        CollResult {
+            exit,
+            data,
+            last: st.taken == p,
+        }
+    }
+
+    /// Computes exits and combined outputs. Called with the state lock held
+    /// by the last-arriving participant.
+    fn complete(&self, st: &mut InstState) {
+        let entries: Vec<VTime> = st.entries.iter().map(|e| e.expect("all arrived")).collect();
+        let contribs: Vec<Bytes> = st
+            .contribs
+            .iter_mut()
+            .map(|c| c.take().expect("all arrived"))
+            .collect();
+        let bytes = self.cost_bytes(&contribs);
+        let ctx = CollCtx {
+            params: &self.params,
+            topo: &self.topo,
+            world_ranks: &self.world_ranks,
+            instance: self.instance_id,
+        };
+        let exits = netmodel::exit_times(self.op, self.root, bytes, &entries, &ctx);
+        let outputs = combine(self.op, self.root, self.red, &contribs)
+            .into_iter()
+            .map(Some)
+            .collect();
+        st.done = Some(DoneState { exits, outputs });
+    }
+
+    /// The per-rank message size the cost model should see for this op.
+    fn cost_bytes(&self, contribs: &[Bytes]) -> usize {
+        let p = contribs.len().max(1);
+        match self.op {
+            CollOp::Barrier => 0,
+            CollOp::Bcast => contribs[self.root].len(),
+            CollOp::Scatter => contribs[self.root].len() / p,
+            CollOp::Alltoall | CollOp::ReduceScatter => {
+                contribs.iter().map(Bytes::len).max().unwrap_or(0) / p
+            }
+            _ => contribs.iter().map(Bytes::len).max().unwrap_or(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for CollInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollInstance")
+            .field("key", &self.key)
+            .field("op", &self.op)
+            .field("p", &self.size())
+            .finish()
+    }
+}
+
+/// Combines contributions into per-rank outputs according to the MPI data
+/// semantics of `op`.
+///
+/// Reductions are applied in group-rank order, so results are deterministic
+/// (MPI guarantees a deterministic reduction order for a given
+/// implementation; we pick canonical order).
+fn combine(op: CollOp, root: usize, red: Option<RedSpec>, contribs: &[Bytes]) -> Vec<Bytes> {
+    let p = contribs.len();
+    let empty = || Bytes::new();
+    match op {
+        CollOp::Barrier => vec![empty(); p],
+        CollOp::Bcast => vec![contribs[root].clone(); p],
+        CollOp::Reduce | CollOp::Allreduce => {
+            let spec = red.expect("reduction requires RedSpec");
+            let mut acc = contribs[0].to_vec();
+            for c in &contribs[1..] {
+                spec.op.combine(&mut acc, c, spec.dtype);
+            }
+            let combined = Bytes::from(acc);
+            if op == CollOp::Allreduce {
+                vec![combined; p]
+            } else {
+                (0..p)
+                    .map(|r| if r == root { combined.clone() } else { empty() })
+                    .collect()
+            }
+        }
+        CollOp::Gather | CollOp::Allgather => {
+            let mut cat = Vec::with_capacity(contribs.iter().map(Bytes::len).sum());
+            for c in contribs {
+                cat.extend_from_slice(c);
+            }
+            let cat = Bytes::from(cat);
+            if op == CollOp::Allgather {
+                vec![cat; p]
+            } else {
+                (0..p)
+                    .map(|r| if r == root { cat.clone() } else { empty() })
+                    .collect()
+            }
+        }
+        CollOp::Alltoall => {
+            // Every contribution is p equal blocks; output r = concat of
+            // block r from every rank.
+            (0..p)
+                .map(|r| {
+                    let mut out = Vec::new();
+                    for c in contribs {
+                        let block = c.len() / p;
+                        out.extend_from_slice(&c[r * block..(r + 1) * block]);
+                    }
+                    Bytes::from(out)
+                })
+                .collect()
+        }
+        CollOp::Scatter => {
+            let src = &contribs[root];
+            let block = src.len() / p;
+            (0..p)
+                .map(|r| src.slice(r * block..(r + 1) * block))
+                .collect()
+        }
+        CollOp::Scan => {
+            let spec = red.expect("scan requires RedSpec");
+            let mut acc = contribs[0].to_vec();
+            let mut outs = Vec::with_capacity(p);
+            outs.push(Bytes::from(acc.clone()));
+            for c in &contribs[1..] {
+                spec.op.combine(&mut acc, c, spec.dtype);
+                outs.push(Bytes::from(acc.clone()));
+            }
+            outs
+        }
+        CollOp::ReduceScatter => {
+            let spec = red.expect("reduce_scatter requires RedSpec");
+            let mut acc = contribs[0].to_vec();
+            for c in &contribs[1..] {
+                spec.op.combine(&mut acc, c, spec.dtype);
+            }
+            let combined = Bytes::from(acc);
+            let block = combined.len() / p;
+            (0..p)
+                .map(|r| combined.slice(r * block..(r + 1) * block))
+                .collect()
+        }
+    }
+}
+
+/// Registry of in-flight collective instances, keyed by `(comm, seq)`.
+#[derive(Default)]
+pub struct CollRegistry {
+    map: Mutex<HashMap<(CommId, u64), Arc<CollInstance>>>,
+}
+
+impl CollRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finds or creates the instance for `(comm, seq)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_or_create(
+        &self,
+        key: (CommId, u64),
+        op: CollOp,
+        root: usize,
+        red: Option<RedSpec>,
+        group: &Group,
+        instance_id_alloc: impl FnOnce() -> u64,
+        params: &Arc<NetParams>,
+        topo: &Topology,
+    ) -> Arc<CollInstance> {
+        let mut map = self.map.lock();
+        Arc::clone(map.entry(key).or_insert_with(|| {
+            Arc::new(CollInstance::new(
+                key,
+                op,
+                root,
+                red,
+                group,
+                instance_id_alloc(),
+                Arc::clone(params),
+                topo.clone(),
+            ))
+        }))
+    }
+
+    /// Removes a fully collected instance.
+    pub fn retire(&self, key: (CommId, u64)) {
+        self.map.lock().remove(&key);
+    }
+
+    /// Number of live (not yet retired) instances — used by checkpoint
+    /// invariant checks: at a safe state this must be zero.
+    pub fn live_count(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Arrival progress of an instance: `(entered, size)`, or `None` if no
+    /// such instance exists. Used by the 2PC coordinator to decide whether
+    /// a trivial barrier can still complete.
+    pub fn progress(&self, key: (CommId, u64)) -> Option<(usize, usize)> {
+        let map = self.map.lock();
+        let inst = map.get(&key)?;
+        let arrived = inst.state.lock().arrived;
+        Some((arrived, inst.size()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::{decode_f64, encode_f64};
+
+    fn inst(op: CollOp, p: usize, root: usize, red: Option<RedSpec>) -> CollInstance {
+        CollInstance::new(
+            (CommId(0), 0),
+            op,
+            root,
+            red,
+            &Group::world(p),
+            1,
+            Arc::new(NetParams::ideal()),
+            Topology::single_node(p),
+        )
+    }
+
+    fn run_all(i: &CollInstance, payloads: Vec<Bytes>) -> Vec<Bytes> {
+        let p = payloads.len();
+        for (r, c) in payloads.into_iter().enumerate() {
+            i.enter(r, VTime::ZERO, c, i.op(), i.root, i.red);
+        }
+        (0..p).map(|r| i.try_take(r).unwrap().data).collect()
+    }
+
+    #[test]
+    fn bcast_data() {
+        let i = inst(CollOp::Bcast, 3, 1, None);
+        let outs = run_all(
+            &i,
+            vec![Bytes::new(), Bytes::from_static(b"abc"), Bytes::new()],
+        );
+        for o in outs {
+            assert_eq!(o.as_ref(), b"abc");
+        }
+    }
+
+    #[test]
+    fn allreduce_sum() {
+        let spec = RedSpec {
+            dtype: DType::F64,
+            op: ReduceOp::Sum,
+        };
+        let i = inst(CollOp::Allreduce, 4, 0, Some(spec));
+        let outs = run_all(
+            &i,
+            (0..4).map(|r| encode_f64(&[r as f64, 1.0])).collect(),
+        );
+        for o in outs {
+            assert_eq!(decode_f64(&o), vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_only_root_gets_data() {
+        let spec = RedSpec {
+            dtype: DType::F64,
+            op: ReduceOp::Max,
+        };
+        let i = inst(CollOp::Reduce, 3, 2, Some(spec));
+        let outs = run_all(&i, (0..3).map(|r| encode_f64(&[r as f64])).collect());
+        assert!(outs[0].is_empty() && outs[1].is_empty());
+        assert_eq!(decode_f64(&outs[2]), vec![2.0]);
+    }
+
+    #[test]
+    fn alltoall_blocks() {
+        // Rank r sends block [r*10 + j] to rank j.
+        let i = inst(CollOp::Alltoall, 3, 0, None);
+        let payloads: Vec<Bytes> = (0..3u8)
+            .map(|r| Bytes::from(vec![r * 10, r * 10 + 1, r * 10 + 2]))
+            .collect();
+        let outs = run_all(&i, payloads);
+        assert_eq!(outs[0].as_ref(), &[0, 10, 20]);
+        assert_eq!(outs[1].as_ref(), &[1, 11, 21]);
+        assert_eq!(outs[2].as_ref(), &[2, 12, 22]);
+    }
+
+    #[test]
+    fn gather_allgather_scatter() {
+        let i = inst(CollOp::Gather, 2, 0, None);
+        let outs = run_all(
+            &i,
+            vec![Bytes::from_static(b"ab"), Bytes::from_static(b"cd")],
+        );
+        assert_eq!(outs[0].as_ref(), b"abcd");
+        assert!(outs[1].is_empty());
+
+        let i = inst(CollOp::Allgather, 2, 0, None);
+        let outs = run_all(
+            &i,
+            vec![Bytes::from_static(b"ab"), Bytes::from_static(b"cd")],
+        );
+        assert_eq!(outs[0].as_ref(), b"abcd");
+        assert_eq!(outs[1].as_ref(), b"abcd");
+
+        let i = inst(CollOp::Scatter, 2, 0, None);
+        let outs = run_all(&i, vec![Bytes::from_static(b"abcd"), Bytes::new()]);
+        assert_eq!(outs[0].as_ref(), b"ab");
+        assert_eq!(outs[1].as_ref(), b"cd");
+    }
+
+    #[test]
+    fn scan_prefixes() {
+        let spec = RedSpec {
+            dtype: DType::F64,
+            op: ReduceOp::Sum,
+        };
+        let i = inst(CollOp::Scan, 3, 0, Some(spec));
+        let outs = run_all(&i, (0..3).map(|r| encode_f64(&[(r + 1) as f64])).collect());
+        assert_eq!(decode_f64(&outs[0]), vec![1.0]);
+        assert_eq!(decode_f64(&outs[1]), vec![3.0]);
+        assert_eq!(decode_f64(&outs[2]), vec![6.0]);
+    }
+
+    #[test]
+    fn reduce_scatter_blocks() {
+        let spec = RedSpec {
+            dtype: DType::F64,
+            op: ReduceOp::Sum,
+        };
+        let i = inst(CollOp::ReduceScatter, 2, 0, Some(spec));
+        let outs = run_all(
+            &i,
+            vec![encode_f64(&[1.0, 2.0]), encode_f64(&[10.0, 20.0])],
+        );
+        assert_eq!(decode_f64(&outs[0]), vec![11.0]);
+        assert_eq!(decode_f64(&outs[1]), vec![22.0]);
+    }
+
+    #[test]
+    fn exits_reflect_entries() {
+        let i = inst(CollOp::Barrier, 2, 0, None);
+        i.enter(0, VTime::from_micros(5.0), Bytes::new(), CollOp::Barrier, 0, None);
+        assert!(!i.is_complete());
+        i.enter(1, VTime::from_micros(9.0), Bytes::new(), CollOp::Barrier, 0, None);
+        assert!(i.is_complete());
+        // Ideal network: exits == max(entries).
+        assert_eq!(i.exit_of(0).unwrap(), VTime::from_micros(9.0));
+        let r0 = i.try_take(0).unwrap();
+        assert!(!r0.last);
+        let r1 = i.try_take(1).unwrap();
+        assert!(r1.last);
+    }
+
+    #[test]
+    #[should_panic(expected = "collective mismatch")]
+    fn op_mismatch_detected() {
+        let i = inst(CollOp::Barrier, 2, 0, None);
+        i.enter(0, VTime::ZERO, Bytes::new(), CollOp::Barrier, 0, None);
+        i.enter(1, VTime::ZERO, Bytes::new(), CollOp::Bcast, 0, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "entered collective")]
+    fn double_entry_detected() {
+        let i = inst(CollOp::Barrier, 2, 0, None);
+        i.enter(0, VTime::ZERO, Bytes::new(), CollOp::Barrier, 0, None);
+        i.enter(0, VTime::ZERO, Bytes::new(), CollOp::Barrier, 0, None);
+    }
+
+    #[test]
+    fn registry_lifecycle() {
+        let reg = CollRegistry::new();
+        let params = Arc::new(NetParams::ideal());
+        let topo = Topology::single_node(2);
+        let g = Group::world(2);
+        let key = (CommId(0), 7);
+        let a = reg.get_or_create(key, CollOp::Barrier, 0, None, &g, || 1, &params, &topo);
+        let b = reg.get_or_create(key, CollOp::Barrier, 0, None, &g, || 2, &params, &topo);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.live_count(), 1);
+        reg.retire(key);
+        assert_eq!(reg.live_count(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Element datatypes for reduction collectives.
+//!
+//! Payloads travel as raw bytes ([`bytes::Bytes`]); reductions reinterpret
+//! them element-wise according to a [`DType`]. This mirrors MPI's
+//! `MPI_DOUBLE`/`MPI_INT64_T`/… datatype arguments for the subset the
+//! workloads need.
+
+use bytes::Bytes;
+
+/// Element type of a reduction payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 64-bit IEEE float (`MPI_DOUBLE`).
+    F64,
+    /// 64-bit signed integer (`MPI_INT64_T`).
+    I64,
+    /// 64-bit unsigned integer (`MPI_UINT64_T`).
+    U64,
+    /// Raw bytes (`MPI_BYTE`) — reductions treat each byte as `u8`.
+    U8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    #[inline]
+    pub fn size(self) -> usize {
+        match self {
+            DType::F64 | DType::I64 | DType::U64 => 8,
+            DType::U8 => 1,
+        }
+    }
+
+    /// Number of elements in a payload of `len` bytes.
+    ///
+    /// # Panics
+    /// Panics if `len` is not a multiple of the element size (an MPI type
+    /// mismatch error).
+    pub fn count(self, len: usize) -> usize {
+        assert!(
+            len % self.size() == 0,
+            "payload of {len} bytes is not a whole number of {self:?} elements"
+        );
+        len / self.size()
+    }
+}
+
+/// Encodes a slice of `f64` into a byte payload (little-endian).
+pub fn encode_f64(v: &[f64]) -> Bytes {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Decodes a little-endian byte payload into `f64`s.
+pub fn decode_f64(b: &[u8]) -> Vec<f64> {
+    assert!(b.len() % 8 == 0, "not an f64 payload");
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Encodes a slice of `i64` into a byte payload (little-endian).
+pub fn encode_i64(v: &[i64]) -> Bytes {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Decodes a little-endian byte payload into `i64`s.
+pub fn decode_i64(b: &[u8]) -> Vec<i64> {
+    assert!(b.len() % 8 == 0, "not an i64 payload");
+    b.chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Encodes a slice of `u64` into a byte payload (little-endian).
+pub fn encode_u64(v: &[u64]) -> Bytes {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Decodes a little-endian byte payload into `u64`s.
+pub fn decode_u64(b: &[u8]) -> Vec<u64> {
+    assert!(b.len() % 8 == 0, "not a u64 payload");
+    b.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F64.size(), 8);
+        assert_eq!(DType::U8.size(), 1);
+        assert_eq!(DType::F64.count(64), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_count_panics() {
+        DType::I64.count(7);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let v = vec![1.5, -2.25, 0.0, f64::MAX];
+        assert_eq!(decode_f64(&encode_f64(&v)), v);
+    }
+
+    #[test]
+    fn i64_round_trip() {
+        let v = vec![i64::MIN, -1, 0, 42, i64::MAX];
+        assert_eq!(decode_i64(&encode_i64(&v)), v);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let v = vec![0, 1, u64::MAX];
+        assert_eq!(decode_u64(&encode_u64(&v)), v);
+    }
+}

@@ -1,0 +1,76 @@
+//! Message and status types for the point-to-point engine.
+
+use crate::types::{CommId, Tag};
+use bytes::Bytes;
+use netmodel::VTime;
+
+/// A message sitting in a destination mailbox, not yet matched by a receive.
+#[derive(Debug, Clone)]
+pub struct InFlightMsg {
+    /// Sender's world rank.
+    pub src_world: usize,
+    /// Destination world rank (the mailbox owner).
+    pub dst_world: usize,
+    /// Communicator the message was sent on (lower-half handle).
+    pub comm: CommId,
+    /// Application tag.
+    pub tag: Tag,
+    /// Payload bytes.
+    pub payload: Bytes,
+    /// Virtual time at which the sender finished injecting the message.
+    pub sent: VTime,
+    /// Virtual time at which the message is available at the destination.
+    pub arrival: VTime,
+    /// Per-(src → dst) monotone sequence number; enforces the MPI
+    /// non-overtaking rule inside the mailbox.
+    pub seq: u64,
+}
+
+/// Completion status, as in `MPI_Status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Source rank *within the communicator's group*.
+    pub source: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload length in bytes (`MPI_Get_count` with `MPI_BYTE`).
+    pub len: usize,
+}
+
+/// A drained in-flight message, expressed in restart-stable terms: the
+/// communicator is identified by the *virtual* id assigned by `mana-core`
+/// (lower-half `CommId`s do not survive restart).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedMsg {
+    /// Sender's world rank.
+    pub src_world: usize,
+    /// Destination world rank.
+    pub dst_world: usize,
+    /// Virtualized communicator id (stable across restart).
+    pub vcomm: u64,
+    /// Application tag.
+    pub tag: Tag,
+    /// Payload.
+    pub payload: Bytes,
+    /// Original per-channel sequence number (preserves ordering on re-post).
+    pub seq: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saved_msg_round_fields() {
+        let m = SavedMsg {
+            src_world: 1,
+            dst_world: 2,
+            vcomm: 7,
+            tag: 9,
+            payload: Bytes::from_static(b"hi"),
+            seq: 3,
+        };
+        assert_eq!(m.payload.as_ref(), b"hi");
+        assert_eq!(m.vcomm, 7);
+    }
+}

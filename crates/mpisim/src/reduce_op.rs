@@ -1,0 +1,126 @@
+//! Reduction operators (`MPI_SUM`, `MPI_MAX`, …) over typed byte payloads.
+
+use crate::dtype::DType;
+
+/// A reduction operator, applied element-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// `MPI_SUM`.
+    Sum,
+    /// `MPI_PROD`.
+    Prod,
+    /// `MPI_MAX`.
+    Max,
+    /// `MPI_MIN`.
+    Min,
+}
+
+impl ReduceOp {
+    /// Combines `rhs` into `acc` element-wise: `acc[i] = op(acc[i], rhs[i])`.
+    ///
+    /// Like MPI's reduction guarantee, the combine is applied in group-rank
+    /// order by the collective engine, so results are deterministic.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or are not a whole number of elements.
+    pub fn combine(self, acc: &mut [u8], rhs: &[u8], dtype: DType) {
+        assert_eq!(acc.len(), rhs.len(), "reduction payload length mismatch");
+        let n = dtype.count(acc.len());
+        match dtype {
+            DType::F64 => self.combine_prim::<f64, 8>(acc, rhs, n, f64::from_le_bytes, |x| {
+                x.to_le_bytes()
+            }),
+            DType::I64 => self.combine_prim::<i64, 8>(acc, rhs, n, i64::from_le_bytes, |x| {
+                x.to_le_bytes()
+            }),
+            DType::U64 => self.combine_prim::<u64, 8>(acc, rhs, n, u64::from_le_bytes, |x| {
+                x.to_le_bytes()
+            }),
+            DType::U8 => {
+                for i in 0..n {
+                    acc[i] = match self {
+                        ReduceOp::Sum => acc[i].wrapping_add(rhs[i]),
+                        ReduceOp::Prod => acc[i].wrapping_mul(rhs[i]),
+                        ReduceOp::Max => acc[i].max(rhs[i]),
+                        ReduceOp::Min => acc[i].min(rhs[i]),
+                    };
+                }
+            }
+        }
+    }
+
+    fn combine_prim<T, const W: usize>(
+        self,
+        acc: &mut [u8],
+        rhs: &[u8],
+        n: usize,
+        from: impl Fn([u8; W]) -> T,
+        to: impl Fn(T) -> [u8; W],
+    ) where
+        T: Copy + PartialOrd + std::ops::Add<Output = T> + std::ops::Mul<Output = T>,
+    {
+        for i in 0..n {
+            let off = i * W;
+            let a = from(acc[off..off + W].try_into().unwrap());
+            let b = from(rhs[off..off + W].try_into().unwrap());
+            let r = match self {
+                ReduceOp::Sum => a + b,
+                ReduceOp::Prod => a * b,
+                ReduceOp::Max => {
+                    if b > a {
+                        b
+                    } else {
+                        a
+                    }
+                }
+                ReduceOp::Min => {
+                    if b < a {
+                        b
+                    } else {
+                        a
+                    }
+                }
+            };
+            acc[off..off + W].copy_from_slice(&to(r));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::{decode_f64, decode_i64, encode_f64, encode_i64};
+
+    #[test]
+    fn sum_f64() {
+        let mut a = encode_f64(&[1.0, 2.0]).to_vec();
+        let b = encode_f64(&[0.5, -1.0]);
+        ReduceOp::Sum.combine(&mut a, &b, DType::F64);
+        assert_eq!(decode_f64(&a), vec![1.5, 1.0]);
+    }
+
+    #[test]
+    fn max_min_i64() {
+        let mut a = encode_i64(&[3, -5]).to_vec();
+        let b = encode_i64(&[1, 7]);
+        ReduceOp::Max.combine(&mut a, &b, DType::I64);
+        assert_eq!(decode_i64(&a), vec![3, 7]);
+        let mut c = encode_i64(&[3, -5]).to_vec();
+        ReduceOp::Min.combine(&mut c, &b, DType::I64);
+        assert_eq!(decode_i64(&c), vec![1, -5]);
+    }
+
+    #[test]
+    fn prod_u8_wraps() {
+        let mut a = vec![16u8];
+        ReduceOp::Prod.combine(&mut a, &[17u8], DType::U8);
+        assert_eq!(a[0], 16u8.wrapping_mul(17));
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let mut a = vec![0u8; 8];
+        ReduceOp::Sum.combine(&mut a, &[0u8; 16], DType::F64);
+    }
+}

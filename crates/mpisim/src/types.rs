@@ -1,0 +1,87 @@
+//! Small shared types: tags, source/tag selectors, identifiers.
+
+/// Message tag, as in MPI: a non-negative application-chosen label.
+pub type Tag = u32;
+
+/// Identifier of a communicator inside one lower-half generation.
+///
+/// Communicator ids are "local resource handles" in the paper's words — they
+/// are *not* stable across restart. `mana-core` virtualizes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CommId(pub u64);
+
+/// `MPI_COMM_WORLD`'s id in every lower-half generation.
+pub const COMM_WORLD_ID: CommId = CommId(0);
+
+/// Source selector for receives and probes (group-rank based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SrcSel {
+    /// `MPI_ANY_SOURCE`.
+    Any,
+    /// A specific rank in the communicator's group.
+    Rank(usize),
+}
+
+/// Tag selector for receives and probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagSel {
+    /// `MPI_ANY_TAG`.
+    Any,
+    /// A specific tag.
+    Tag(Tag),
+}
+
+impl SrcSel {
+    /// Whether this selector accepts a message from `group_rank`.
+    #[inline]
+    pub fn matches(self, group_rank: usize) -> bool {
+        match self {
+            SrcSel::Any => true,
+            SrcSel::Rank(r) => r == group_rank,
+        }
+    }
+}
+
+impl TagSel {
+    /// Whether this selector accepts `tag`.
+    #[inline]
+    pub fn matches(self, tag: Tag) -> bool {
+        match self {
+            TagSel::Any => true,
+            TagSel::Tag(t) => t == tag,
+        }
+    }
+}
+
+impl From<usize> for SrcSel {
+    fn from(r: usize) -> Self {
+        SrcSel::Rank(r)
+    }
+}
+
+impl From<Tag> for TagSel {
+    fn from(t: Tag) -> Self {
+        TagSel::Tag(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectors_match() {
+        assert!(SrcSel::Any.matches(7));
+        assert!(SrcSel::Rank(7).matches(7));
+        assert!(!SrcSel::Rank(7).matches(8));
+        assert!(TagSel::Any.matches(0));
+        assert!(TagSel::Tag(3).matches(3));
+        assert!(!TagSel::Tag(3).matches(4));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SrcSel::from(5), SrcSel::Rank(5));
+        assert_eq!(TagSel::from(9u32), TagSel::Tag(9));
+    }
+}

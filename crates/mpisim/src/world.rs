@@ -1,0 +1,334 @@
+//! The `World`: all shared lower-half state, plus the thread launcher.
+//!
+//! In split-process terms (paper Figure 1) a `World` **is** the lower half:
+//! mailboxes, communicator registry, and in-flight collective instances. At
+//! restart the checkpoint engine discards the old `World` and attaches a
+//! fresh one to the surviving rank threads ([`crate::Ctx::attach_world`]) —
+//! nothing in here is ever saved in a checkpoint image.
+
+use crate::collective::CollRegistry;
+use crate::comm::{CommInner, SplitKey};
+use crate::ctx::Ctx;
+use crate::group::Group;
+use crate::mailbox::Mailbox;
+use crate::msg::InFlightMsg;
+use crate::types::{CommId, COMM_WORLD_ID};
+use netmodel::{NetParams, Topology, VTime};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration for building a [`World`].
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Number of MPI ranks.
+    pub n_ranks: usize,
+    /// Ranks per simulated node (Perlmutter: 128).
+    pub ranks_per_node: usize,
+    /// Network cost parameters.
+    pub params: NetParams,
+    /// Stack size for rank threads spawned by [`run_world`].
+    pub stack_size: usize,
+}
+
+impl WorldConfig {
+    /// A config with `n` ranks on one node and the default network.
+    pub fn single_node(n: usize) -> Self {
+        WorldConfig {
+            n_ranks: n,
+            ranks_per_node: n.max(1),
+            params: NetParams::default(),
+            stack_size: 1 << 20,
+        }
+    }
+
+    /// A config with `n` ranks, `rpn` per node.
+    pub fn multi_node(n: usize, rpn: usize) -> Self {
+        WorldConfig {
+            n_ranks: n,
+            ranks_per_node: rpn,
+            params: NetParams::default(),
+            stack_size: 1 << 20,
+        }
+    }
+
+    /// Replaces the network parameters.
+    pub fn with_params(mut self, params: NetParams) -> Self {
+        self.params = params;
+        self
+    }
+}
+
+/// Shared lower-half state for one generation of the simulated MPI library.
+pub struct World {
+    pub(crate) n_ranks: usize,
+    pub(crate) topo: Topology,
+    pub(crate) params: Arc<NetParams>,
+    pub(crate) mailboxes: Vec<Arc<Mailbox>>,
+    pub(crate) comms: RwLock<HashMap<CommId, Arc<CommInner>>>,
+    pub(crate) split_registry: Mutex<HashMap<SplitKey, CommId>>,
+    pub(crate) next_comm: AtomicU64,
+    pub(crate) coll: CollRegistry,
+    pub(crate) next_instance: AtomicU64,
+    /// Lower-half generation: 0 for the initial world, incremented by the
+    /// checkpoint engine at each restart.
+    pub epoch: u64,
+}
+
+impl World {
+    /// Builds a world (generation 0).
+    pub fn new(cfg: WorldConfig) -> Arc<World> {
+        Self::with_epoch(cfg, 0)
+    }
+
+    /// Builds a world with an explicit lower-half generation (restart path).
+    pub fn with_epoch(cfg: WorldConfig, epoch: u64) -> Arc<World> {
+        assert!(cfg.n_ranks > 0, "world needs at least one rank");
+        let topo = Topology::new(cfg.n_ranks, cfg.ranks_per_node);
+        let mut comms = HashMap::new();
+        comms.insert(
+            COMM_WORLD_ID,
+            Arc::new(CommInner {
+                id: COMM_WORLD_ID,
+                group: Group::world(cfg.n_ranks),
+                epoch,
+            }),
+        );
+        Arc::new(World {
+            n_ranks: cfg.n_ranks,
+            topo,
+            params: Arc::new(cfg.params),
+            mailboxes: (0..cfg.n_ranks).map(|_| Arc::new(Mailbox::new())).collect(),
+            comms: RwLock::new(comms),
+            split_registry: Mutex::new(HashMap::new()),
+            next_comm: AtomicU64::new(1),
+            coll: CollRegistry::new(),
+            next_instance: AtomicU64::new(1),
+            epoch,
+        })
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// The topology.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Network parameters.
+    #[inline]
+    pub fn params(&self) -> &Arc<NetParams> {
+        &self.params
+    }
+
+    /// The mailbox of `rank`.
+    #[inline]
+    pub(crate) fn mailbox(&self, rank: usize) -> &Mailbox {
+        &self.mailboxes[rank]
+    }
+
+    /// Looks up a communicator by id.
+    ///
+    /// # Panics
+    /// Panics if the id is unknown (stale handle from an old generation).
+    pub fn comm_inner(&self, id: CommId) -> Arc<CommInner> {
+        Arc::clone(
+            self.comms
+                .read()
+                .get(&id)
+                .unwrap_or_else(|| panic!("unknown communicator {id:?} (stale handle?)")),
+        )
+    }
+
+    /// Registers a new communicator for `group`; allocated under `key` so
+    /// that all participants of the creating collective agree on the id.
+    pub(crate) fn comm_for_split(&self, key: SplitKey, group: Group) -> Arc<CommInner> {
+        let mut reg = self.split_registry.lock();
+        let id = *reg.entry(key).or_insert_with(|| {
+            CommId(self.next_comm.fetch_add(1, Ordering::Relaxed))
+        });
+        drop(reg);
+        let mut comms = self.comms.write();
+        let inner = comms.entry(id).or_insert_with(|| {
+            Arc::new(CommInner {
+                id,
+                group,
+                epoch: self.epoch,
+            })
+        });
+        Arc::clone(inner)
+    }
+
+    /// Frees a communicator handle (`MPI_Comm_free`). World itself cannot
+    /// be freed.
+    pub fn free_comm(&self, id: CommId) {
+        assert_ne!(id, COMM_WORLD_ID, "cannot free MPI_COMM_WORLD");
+        self.comms.write().remove(&id);
+    }
+
+    /// Allocates a globally unique collective-instance id (jitter key).
+    pub(crate) fn alloc_instance(&self) -> u64 {
+        self.next_instance.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// **Checkpoint hook.** Drains every unmatched in-flight message from
+    /// `rank`'s mailbox. At a safe state these are exactly the sent-but-not-
+    /// received point-to-point messages that must be saved in the image.
+    pub fn take_unexpected(&self, rank: usize) -> Vec<InFlightMsg> {
+        self.mailboxes[rank].drain_all()
+    }
+
+    /// **Restart hook.** Re-deposits a message drained from a previous
+    /// generation (arrival time is immediate: the data is already local).
+    pub fn deposit_raw(&self, mut msg: InFlightMsg, now: VTime) {
+        msg.arrival = now;
+        msg.sent = now;
+        let dst = msg.dst_world;
+        self.mailboxes[dst].deposit(msg);
+    }
+
+    /// Number of collective instances currently in flight. The paper's
+    /// *collective invariant* (§2.2) requires this to be zero at any safe
+    /// state; the checkpoint engine asserts it.
+    pub fn live_collectives(&self) -> usize {
+        self.coll.live_count()
+    }
+
+    /// Arrival progress of a collective instance `(entered, size)`; `None`
+    /// if the instance does not exist (not started, or fully retired).
+    pub fn collective_progress(&self, comm: CommId, seq: u64) -> Option<(usize, usize)> {
+        self.coll.progress((comm, seq))
+    }
+
+    /// Non-destructive snapshot of a rank's unmatched in-flight messages
+    /// (checkpoint *continue* path: the image gets a copy, the mailbox
+    /// keeps the originals).
+    pub fn snapshot_unexpected(&self, rank: usize) -> Vec<InFlightMsg> {
+        self.mailboxes[rank].snapshot_all()
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("n_ranks", &self.n_ranks)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+/// Result of one rank's run under [`run_world`].
+#[derive(Debug)]
+pub struct RankReport<R> {
+    /// World rank.
+    pub rank: usize,
+    /// The closure's return value.
+    pub result: R,
+    /// The rank's final virtual clock.
+    pub final_clock: VTime,
+}
+
+/// Result of a whole [`run_world`] execution.
+#[derive(Debug)]
+pub struct WorldReport<R> {
+    /// Per-rank reports, indexed by rank.
+    pub ranks: Vec<RankReport<R>>,
+    /// The simulated makespan: max of final clocks.
+    pub makespan: VTime,
+}
+
+impl<R> WorldReport<R> {
+    /// Iterates over per-rank results.
+    pub fn results(&self) -> impl Iterator<Item = &R> {
+        self.ranks.iter().map(|r| &r.result)
+    }
+}
+
+/// Spawns one thread per rank, runs `f` on each, and reports results and
+/// virtual-time makespan. Panics in any rank propagate.
+pub fn run_world<R, F>(cfg: WorldConfig, f: F) -> WorldReport<R>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Send + Sync,
+{
+    let world = World::new(cfg.clone());
+    let mut reports: Vec<Option<RankReport<R>>> = (0..cfg.n_ranks).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(cfg.n_ranks);
+        for rank in 0..cfg.n_ranks {
+            let world = Arc::clone(&world);
+            let f = &f;
+            let h = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(cfg.stack_size)
+                .spawn_scoped(s, move || {
+                    let mut ctx = Ctx::new(world, rank);
+                    let result = f(&mut ctx);
+                    RankReport {
+                        rank,
+                        result,
+                        final_clock: ctx.clock(),
+                    }
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(h);
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(rep) => reports[rank] = Some(rep),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    let ranks: Vec<RankReport<R>> = reports.into_iter().map(|r| r.unwrap()).collect();
+    let makespan = VTime::max_of(ranks.iter().map(|r| r.final_clock));
+    WorldReport { ranks, makespan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_has_comm_world() {
+        let w = World::new(WorldConfig::single_node(4));
+        let c = w.comm_inner(COMM_WORLD_ID);
+        assert_eq!(c.group.size(), 4);
+        assert_eq!(w.live_collectives(), 0);
+    }
+
+    #[test]
+    fn split_registry_agrees_on_id() {
+        let w = World::new(WorldConfig::single_node(4));
+        let key = SplitKey {
+            parent: COMM_WORLD_ID,
+            seq: 0,
+            color: 1,
+        };
+        let g = Group::new(vec![0, 1]);
+        let a = w.comm_for_split(key.clone(), g.clone());
+        let b = w.comm_for_split(key, g);
+        assert_eq!(a.id, b.id);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot free MPI_COMM_WORLD")]
+    fn freeing_world_comm_panics() {
+        let w = World::new(WorldConfig::single_node(2));
+        w.free_comm(COMM_WORLD_ID);
+    }
+
+    #[test]
+    fn run_world_reports_results() {
+        let rep = run_world(WorldConfig::single_node(3), |ctx| ctx.rank() * 10);
+        assert_eq!(rep.ranks.len(), 3);
+        assert_eq!(rep.ranks[2].result, 20);
+    }
+}

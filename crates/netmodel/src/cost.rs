@@ -1,0 +1,54 @@
+//! Point-to-point and interposition cost functions.
+
+use crate::{NetParams, Topology};
+
+/// Virtual-time cost of delivering one `bytes`-sized message from world rank
+/// `src` to world rank `dst`: latency + serialization.
+#[inline]
+pub fn p2p_cost(params: &NetParams, topo: &Topology, src: usize, dst: usize, bytes: usize) -> f64 {
+    params.alpha(topo, src, dst) + bytes as f64 * params.beta(topo, src, dst)
+}
+
+/// Virtual-time CPU cost charged by one interposed MPI call in the upper
+/// half (handle virtualization + `SEQ[ggid]` bookkeeping). This is the
+/// entire *steady-state* cost of the CC algorithm.
+#[inline]
+pub fn wrapper_cost(params: &NetParams) -> f64 {
+    params.wrapper_overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_intra_cheaper_than_inter() {
+        let p = NetParams::slingshot11();
+        let t = Topology::new(256, 128);
+        let intra = p2p_cost(&p, &t, 0, 1, 1024);
+        let inter = p2p_cost(&p, &t, 0, 200, 1024);
+        assert!(intra < inter);
+    }
+
+    #[test]
+    fn p2p_monotone_in_size() {
+        let p = NetParams::slingshot11();
+        let t = Topology::single_node(4);
+        let small = p2p_cost(&p, &t, 0, 1, 8);
+        let big = p2p_cost(&p, &t, 0, 1, 1 << 20);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn zero_byte_message_costs_latency() {
+        let p = NetParams::slingshot11();
+        let t = Topology::single_node(2);
+        assert_eq!(p2p_cost(&p, &t, 0, 1, 0), p.alpha_intra);
+    }
+
+    #[test]
+    fn wrapper_cost_is_nanoscale() {
+        let p = NetParams::slingshot11();
+        assert!(wrapper_cost(&p) < 1e-6, "wrapper must be sub-microsecond");
+    }
+}

@@ -1,0 +1,42 @@
+//! # netmodel — virtual-time performance models for MPI simulation
+//!
+//! This crate provides the *performance substrate* for the `mana-cc`
+//! reproduction of "Enabling Practical Transparent Checkpointing for MPI: A
+//! Topological Sort Approach" (CLUSTER 2024). The simulated MPI runtime
+//! (`mpisim`) executes ranks as real threads but accounts for time with
+//! per-rank **virtual clocks**; this crate supplies the cost models that
+//! advance those clocks:
+//!
+//! * [`time`] — the [`time::VTime`] virtual-time type (seconds, `f64`).
+//! * [`topology`] — node layout: which ranks share a node
+//!   (Perlmutter-style `ranks_per_node = 128`).
+//! * [`params`] — latency/bandwidth/jitter parameters with presets for
+//!   Slingshot-11-class, InfiniBand-class, and Ethernet-class networks.
+//! * [`cost`] — point-to-point transfer costs.
+//! * [`collectives`] — per-operation exit-time models for MPI collectives.
+//!   These encode the semantics that drive the paper's results: `MPI_Bcast`
+//!   is *non-synchronizing* (the root exits early, receivers pipeline), while
+//!   `MPI_Barrier`/`MPI_Allreduce`/`MPI_Alltoall` synchronize every
+//!   participant. MANA's old 2PC protocol inserts a barrier before every
+//!   collective, which de-pipelines the non-synchronizing ones and amplifies
+//!   straggler jitter — exactly the overhead Figure 5a of the paper shows.
+//! * [`storage`] — a striped parallel-filesystem (Lustre-style) model for
+//!   checkpoint/restart timing (Figure 9).
+//!
+//! All models are deterministic: jitter is derived from a seed plus the
+//! collective instance id and rank, never from wall-clock entropy, so every
+//! experiment is exactly reproducible.
+
+pub mod collectives;
+pub mod cost;
+pub mod params;
+pub mod storage;
+pub mod time;
+pub mod topology;
+
+pub use collectives::{exit_times, CollOp};
+pub use cost::{p2p_cost, wrapper_cost};
+pub use params::{NetParams, NetPreset};
+pub use storage::LustreModel;
+pub use time::VTime;
+pub use topology::Topology;

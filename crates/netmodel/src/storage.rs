@@ -1,0 +1,159 @@
+//! Parallel-filesystem (Lustre-style) timing model for checkpoint images.
+//!
+//! Figure 9 of the paper measures VASP checkpoint/restart times over 1–16
+//! nodes on Perlmutter's Lustre scratch filesystem. The dominant effects are
+//! bandwidth ones: each node can inject only so fast (NIC/OSS path), the
+//! filesystem has a finite aggregate bandwidth across its OSTs, and every
+//! image file pays a metadata open/close round trip. Checkpoint time grows
+//! with node count because total bytes grow linearly while aggregate
+//! bandwidth saturates — the shape this model reproduces.
+
+/// Striped parallel filesystem model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LustreModel {
+    /// Aggregate filesystem write bandwidth (bytes/sec across all OSTs).
+    pub aggregate_write_bw: f64,
+    /// Aggregate filesystem read bandwidth (bytes/sec).
+    pub aggregate_read_bw: f64,
+    /// Per-node injection bandwidth limit (bytes/sec).
+    pub per_node_bw: f64,
+    /// Metadata cost per file (open/create/close round trips, seconds).
+    pub per_file_metadata: f64,
+    /// Fixed coordination cost per checkpoint or restart (seconds): quiesce,
+    /// barrier, coordinator round trips.
+    pub fixed_overhead: f64,
+}
+
+impl LustreModel {
+    /// A Perlmutter-scratch-like model. The aggregate numbers are the
+    /// *effective job-visible* bandwidth under default striping (a job does
+    /// not see the full multi-TB/s filesystem; its files land on a handful
+    /// of OSTs), which is what makes checkpoint time grow with node count in
+    /// the paper's Figure 9.
+    pub fn perlmutter_scratch() -> Self {
+        LustreModel {
+            aggregate_write_bw: 55e9,
+            aggregate_read_bw: 80e9,
+            per_node_bw: 18e9,
+            per_file_metadata: 1.5e-3,
+            fixed_overhead: 1.0,
+        }
+    }
+
+    /// A deliberately slow disk-backed model for tests.
+    pub fn slow_disk() -> Self {
+        LustreModel {
+            aggregate_write_bw: 1e9,
+            aggregate_read_bw: 1.2e9,
+            per_node_bw: 0.5e9,
+            per_file_metadata: 5e-3,
+            fixed_overhead: 0.5,
+        }
+    }
+
+    /// Time (seconds) to write `files_per_node` images of `bytes_per_file`
+    /// from each of `nodes` nodes.
+    pub fn write_time(&self, nodes: usize, files_per_node: usize, bytes_per_file: u64) -> f64 {
+        self.transfer_time(
+            nodes,
+            files_per_node,
+            bytes_per_file,
+            self.aggregate_write_bw,
+        )
+    }
+
+    /// Time (seconds) to read the same set of images back at restart.
+    pub fn read_time(&self, nodes: usize, files_per_node: usize, bytes_per_file: u64) -> f64 {
+        self.transfer_time(
+            nodes,
+            files_per_node,
+            bytes_per_file,
+            self.aggregate_read_bw,
+        )
+    }
+
+    fn transfer_time(
+        &self,
+        nodes: usize,
+        files_per_node: usize,
+        bytes_per_file: u64,
+        aggregate_bw: f64,
+    ) -> f64 {
+        assert!(nodes > 0, "need at least one node");
+        let bytes_per_node = files_per_node as f64 * bytes_per_file as f64;
+        let total = nodes as f64 * bytes_per_node;
+        // The slower of: per-node injection, shared aggregate bandwidth.
+        let node_limited = bytes_per_node / self.per_node_bw;
+        let fs_limited = total / aggregate_bw;
+        // Metadata ops for one node's files are serialized per node but
+        // overlap across nodes; the MDS serves them at a fixed per-file rate
+        // so heavy node counts also queue at the MDS (second term).
+        let md_node = files_per_node as f64 * self.per_file_metadata;
+        let md_mds = (nodes * files_per_node) as f64 * self.per_file_metadata * 0.25;
+        self.fixed_overhead + node_limited.max(fs_limited) + md_node.max(md_mds)
+    }
+}
+
+impl Default for LustreModel {
+    fn default() -> Self {
+        Self::perlmutter_scratch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IMG: u64 = 398 * 1024 * 1024; // paper: 398 MB per rank image
+
+    #[test]
+    fn write_time_grows_with_node_count() {
+        let m = LustreModel::perlmutter_scratch();
+        let t1 = m.write_time(1, 128, IMG);
+        let t4 = m.write_time(4, 128, IMG);
+        let t16 = m.write_time(16, 128, IMG);
+        assert!(t1 < t4 && t4 < t16, "{t1} {t4} {t16}");
+    }
+
+    #[test]
+    fn single_node_is_injection_limited() {
+        let m = LustreModel::perlmutter_scratch();
+        let bytes = 128.0 * IMG as f64;
+        let t = m.write_time(1, 128, IMG);
+        let floor = bytes / m.per_node_bw;
+        assert!(t >= floor, "{t} < injection floor {floor}");
+        // And not wildly above it (metadata + fixed only).
+        assert!(t < floor + 5.0);
+    }
+
+    #[test]
+    fn many_nodes_are_aggregate_limited() {
+        let m = LustreModel::perlmutter_scratch();
+        let nodes = 16;
+        let total = nodes as f64 * 128.0 * IMG as f64;
+        let t = m.write_time(nodes, 128, IMG);
+        assert!(t >= total / m.aggregate_write_bw);
+    }
+
+    #[test]
+    fn read_faster_than_write_here() {
+        let m = LustreModel::perlmutter_scratch();
+        // With read bandwidth > write bandwidth, big restores beat big saves.
+        let w = m.write_time(16, 128, IMG);
+        let r = m.read_time(16, 128, IMG);
+        assert!(r < w);
+    }
+
+    #[test]
+    fn zero_bytes_still_pays_fixed_costs() {
+        let m = LustreModel::perlmutter_scratch();
+        let t = m.write_time(2, 4, 0);
+        assert!(t >= m.fixed_overhead);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_nodes_rejected() {
+        LustreModel::perlmutter_scratch().write_time(0, 1, 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Virtual time: an ordered, arithmetic-friendly wrapper over `f64` seconds.
+//!
+//! Every simulated rank carries a `VTime` clock. Clocks only move forward;
+//! the runtime enforces monotonicity with [`VTime::advance_to`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in seconds since simulation start.
+///
+/// `VTime` is a total order (NaN is forbidden; constructors debug-assert) so
+/// it can be used as `max()` targets in collective exit-time computation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VTime(f64);
+
+impl VTime {
+    /// Time zero: the start of the simulation.
+    pub const ZERO: VTime = VTime(0.0);
+
+    /// Creates a virtual time from seconds.
+    ///
+    /// # Panics
+    /// Debug-panics if `secs` is NaN or negative.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        debug_assert!(secs.is_finite() && secs >= 0.0, "bad VTime {secs}");
+        VTime(secs)
+    }
+
+    /// Creates a virtual time from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us * 1e-6)
+    }
+
+    /// Returns the value in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in microseconds.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the later of `self` and `other`.
+    #[inline]
+    pub fn max(self, other: VTime) -> VTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Returns the earlier of `self` and `other`.
+    #[inline]
+    pub fn min(self, other: VTime) -> VTime {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Moves this clock forward to `t` if `t` is later; never backwards.
+    #[inline]
+    pub fn advance_to(&mut self, t: VTime) {
+        if t.0 > self.0 {
+            self.0 = t.0;
+        }
+    }
+
+    /// Adds a duration in seconds.
+    #[inline]
+    pub fn plus_secs(self, secs: f64) -> VTime {
+        VTime::from_secs(self.0 + secs)
+    }
+
+    /// Maximum over an iterator of times; `VTime::ZERO` if empty.
+    pub fn max_of(times: impl IntoIterator<Item = VTime>) -> VTime {
+        times
+            .into_iter()
+            .fold(VTime::ZERO, |acc, t| acc.max(t))
+    }
+}
+
+impl Eq for VTime {}
+
+impl PartialOrd for VTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // NaN is excluded by construction, so total order is safe.
+        self.0.partial_cmp(&other.0).expect("VTime is never NaN")
+    }
+}
+
+impl Add<f64> for VTime {
+    type Output = VTime;
+    #[inline]
+    fn add(self, rhs: f64) -> VTime {
+        VTime::from_secs(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for VTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: f64) {
+        self.0 += rhs;
+        debug_assert!(self.0.is_finite() && self.0 >= 0.0);
+    }
+}
+
+impl Sub for VTime {
+    type Output = f64;
+    /// Difference in seconds (may be negative when comparing unordered clocks).
+    #[inline]
+    fn sub(self, rhs: VTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1e-3 {
+            write!(f, "{:.3}us", self.0 * 1e6)
+        } else if self.0 < 1.0 {
+            write!(f, "{:.3}ms", self.0 * 1e3)
+        } else {
+            write!(f, "{:.3}s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(VTime::default(), VTime::ZERO);
+        assert_eq!(VTime::ZERO.as_secs(), 0.0);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = VTime::from_secs(1.0);
+        let b = VTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn advance_only_forward() {
+        let mut t = VTime::from_secs(5.0);
+        t.advance_to(VTime::from_secs(3.0));
+        assert_eq!(t.as_secs(), 5.0);
+        t.advance_to(VTime::from_secs(7.0));
+        assert_eq!(t.as_secs(), 7.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = VTime::from_micros(2.0);
+        assert!((t.as_secs() - 2e-6).abs() < 1e-18);
+        let u = t + 1e-6;
+        assert!((u.as_micros() - 3.0).abs() < 1e-9);
+        assert!((u - t - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn max_of_iter() {
+        let ts = [1.0, 3.0, 2.0].map(VTime::from_secs);
+        assert_eq!(VTime::max_of(ts), VTime::from_secs(3.0));
+        assert_eq!(VTime::max_of([]), VTime::ZERO);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", VTime::from_micros(1.5)), "1.500us");
+        assert_eq!(format!("{}", VTime::from_secs(0.5)), "500.000ms");
+        assert_eq!(format!("{}", VTime::from_secs(2.25)), "2.250s");
+    }
+}

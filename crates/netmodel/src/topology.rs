@@ -1,0 +1,151 @@
+//! Cluster topology: the mapping from world ranks to physical nodes.
+//!
+//! The paper's experiments run on Perlmutter CPU nodes with 128 MPI
+//! processes per node; runtime overhead depends on whether communication
+//! crosses a node boundary (Figure 8's dip at 256 processes is explained by
+//! exactly this). `Topology` captures the rank→node mapping used by every
+//! cost function in this crate.
+
+/// Block mapping of world ranks onto nodes: ranks `[0, rpn)` on node 0,
+/// `[rpn, 2·rpn)` on node 1, and so on (the standard SLURM block layout the
+/// paper uses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    n_ranks: usize,
+    ranks_per_node: usize,
+}
+
+impl Topology {
+    /// Creates a topology with `n_ranks` total ranks and `ranks_per_node`
+    /// ranks packed per node.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(n_ranks: usize, ranks_per_node: usize) -> Self {
+        assert!(n_ranks > 0, "topology needs at least one rank");
+        assert!(ranks_per_node > 0, "ranks_per_node must be positive");
+        Topology {
+            n_ranks,
+            ranks_per_node,
+        }
+    }
+
+    /// A single-node topology (everything is intra-node).
+    pub fn single_node(n_ranks: usize) -> Self {
+        Self::new(n_ranks, n_ranks.max(1))
+    }
+
+    /// Perlmutter-style topology: 128 ranks per CPU node.
+    pub fn perlmutter(n_ranks: usize) -> Self {
+        Self::new(n_ranks, 128)
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Ranks per node.
+    #[inline]
+    pub fn ranks_per_node(&self) -> usize {
+        self.ranks_per_node
+    }
+
+    /// Number of nodes occupied (ceiling division).
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.n_ranks.div_ceil(self.ranks_per_node)
+    }
+
+    /// The node hosting `rank`.
+    ///
+    /// # Panics
+    /// Debug-panics if `rank` is out of range.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.n_ranks, "rank {rank} out of range");
+        rank / self.ranks_per_node
+    }
+
+    /// Whether two ranks share a physical node.
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Fraction of *ordered* rank pairs in `ranks` that cross a node
+    /// boundary; 0.0 for a single rank. Used to blend intra/inter costs for
+    /// dense collectives such as `MPI_Alltoall`.
+    pub fn inter_node_fraction(&self, ranks: &[usize]) -> f64 {
+        let p = ranks.len();
+        if p < 2 {
+            return 0.0;
+        }
+        // Count per-node membership; pairs across different nodes.
+        let mut counts = std::collections::HashMap::new();
+        for &r in ranks {
+            *counts.entry(self.node_of(r)).or_insert(0usize) += 1;
+        }
+        let total_pairs = p * (p - 1);
+        let mut same_pairs = 0usize;
+        for &c in counts.values() {
+            same_pairs += c * (c - 1);
+        }
+        let cross = total_pairs - same_pairs;
+        cross as f64 / total_pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping() {
+        let t = Topology::new(256, 128);
+        assert_eq!(t.n_nodes(), 2);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(127), 0);
+        assert_eq!(t.node_of(128), 1);
+        assert!(t.same_node(0, 127));
+        assert!(!t.same_node(127, 128));
+    }
+
+    #[test]
+    fn uneven_last_node() {
+        let t = Topology::new(200, 128);
+        assert_eq!(t.n_nodes(), 2);
+        assert_eq!(t.node_of(199), 1);
+    }
+
+    #[test]
+    fn single_node_everything_local() {
+        let t = Topology::single_node(64);
+        assert_eq!(t.n_nodes(), 1);
+        assert!(t.same_node(0, 63));
+        assert_eq!(t.inter_node_fraction(&(0..64).collect::<Vec<_>>()), 0.0);
+    }
+
+    #[test]
+    fn inter_node_fraction_two_nodes() {
+        let t = Topology::new(4, 2);
+        // ranks 0,1 on node 0; 2,3 on node 1. Ordered pairs: 12 total,
+        // same-node: (0,1),(1,0),(2,3),(3,2) = 4 → cross = 8/12.
+        let f = t.inter_node_fraction(&[0, 1, 2, 3]);
+        assert!((f - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inter_node_fraction_degenerate() {
+        let t = Topology::new(8, 4);
+        assert_eq!(t.inter_node_fraction(&[3]), 0.0);
+        assert_eq!(t.inter_node_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_rejected() {
+        let _ = Topology::new(0, 4);
+    }
+}
