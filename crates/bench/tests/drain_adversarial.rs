@@ -1,0 +1,142 @@
+//! Adversarial drain schedules (ISSUE satellite): a rank parked in a
+//! wildcard (`ANY_SOURCE`) receive while the others drain, and a
+//! non-blocking collective that is initiated but not completed when the
+//! checkpoint request lands (§4.3.1 counts initiation; §4.3.2 drains it).
+
+use ckpt::{run_ckpt_world, CkptOptions, ResumeMode};
+use mpisim::dtype::{decode_f64, encode_f64};
+use mpisim::{DType, NetParams, ReduceOp, SrcSel, TagSel, VTime, WorldConfig};
+use std::time::Duration;
+
+fn cfg(n: usize) -> WorldConfig {
+    WorldConfig::single_node(n).with_params(NetParams::slingshot11().without_jitter())
+}
+
+/// Rank 0 blocks in `recv(ANY_SOURCE, ANY_TAG)` whose matching send only
+/// happens *after* the checkpoint; ranks 1–2 keep draining collectives on
+/// their own sub-communicator. The capture must record rank 0's pending
+/// wildcard receive, the restart must re-post it, and the message sent
+/// post-restart must still land.
+#[test]
+fn wildcard_recv_parks_while_others_drain() {
+    let run = run_ckpt_world(
+        cfg(3),
+        CkptOptions::one_checkpoint(VTime::from_micros(50.0), ResumeMode::Restart),
+        |r| {
+            let world = r.world_vcomm();
+            let color = i64::from(r.rank() != 0);
+            let sub = r
+                .comm_split(world, color, r.rank() as i64)
+                .expect("non-negative color");
+            if r.rank() == 0 {
+                // Push the published clock past the trigger, then block in
+                // a wildcard receive with no sender in sight.
+                r.compute(200e-6);
+                let (data, st) = r.recv(world, SrcSel::Any, TagSel::Any);
+                assert_eq!(st.source, 1);
+                decode_f64(&data)[0]
+            } else {
+                for _ in 0..60 {
+                    r.allreduce_f64(sub, &[1.0], ReduceOp::Sum);
+                    r.compute(5e-6);
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                if r.rank() == 1 {
+                    r.send(world, 0, 7, encode_f64(&[42.5]));
+                }
+                0.0
+            }
+        },
+    );
+    assert_eq!(run.checkpoints.len(), 1, "checkpoint must fire mid-drain");
+    let ckpt = &run.checkpoints[0];
+    ckpt.verify().expect("cut must satisfy the oracle");
+    assert!(ckpt.targets_exactly_reached());
+    // Rank 0 quiesced inside the wildcard receive: the image records it.
+    let pending = &ckpt.captures[0].pending_recvs;
+    assert_eq!(pending.len(), 1, "pending wildcard recv must be captured");
+    assert!(matches!(pending[0].src, SrcSel::Any));
+    assert!(matches!(pending[0].tag, TagSel::Any));
+    // The re-posted receive completed with the post-restart payload.
+    assert_eq!(run.ranks[0].result, 42.5);
+}
+
+/// Every rank initiates an `MPI_Iallreduce` and then sits in wall-clock
+/// sleep with the request outstanding while the checkpoint runs. The drain
+/// counts the initiation toward the target, completes the collective at
+/// quiesce, and the application's later `wait` gets the stored result.
+#[test]
+fn initiated_nonblocking_collective_drains_at_checkpoint() {
+    let run = run_ckpt_world(
+        cfg(4),
+        CkptOptions::one_checkpoint(VTime::from_micros(20.0), ResumeMode::Continue),
+        |r| {
+            let world = r.world_vcomm();
+            r.compute(25e-6);
+            let v = r.iallreduce(
+                world,
+                encode_f64(&[r.rank() as f64]),
+                DType::F64,
+                ReduceOp::Sum,
+            );
+            // Wide wall-clock window with the request outstanding.
+            std::thread::sleep(Duration::from_millis(3));
+            let c = r.wait(v);
+            decode_f64(&c.data)[0]
+        },
+    );
+    assert_eq!(
+        run.checkpoints.len(),
+        1,
+        "checkpoint must fire in the window"
+    );
+    let ckpt = &run.checkpoints[0];
+    ckpt.verify().expect("cut must satisfy the oracle");
+    // §4.3.1: the initiation was counted on every rank at request time.
+    for cap in &ckpt.captures {
+        assert_eq!(cap.counters.coll_nonblocking, 1);
+    }
+    assert!(ckpt.targets_exactly_reached());
+    // §4.3.2: the drained result is correct after resume.
+    for r in &run.ranks {
+        assert_eq!(r.result, 0.0 + 1.0 + 2.0 + 3.0);
+    }
+}
+
+/// A checkpoint that lands when some ranks already finished must still
+/// capture a consistent cut and restart the survivors.
+#[test]
+fn checkpoint_with_finished_ranks() {
+    let run = run_ckpt_world(
+        cfg(3),
+        CkptOptions::one_checkpoint(VTime::from_micros(30.0), ResumeMode::Restart),
+        |r| {
+            let world = r.world_vcomm();
+            r.allreduce_f64(world, &[1.0], ReduceOp::Sum);
+            // The split is collective over world, so rank 0 participates
+            // (with MPI_UNDEFINED) before it finishes.
+            let color = if r.rank() == 0 { -1 } else { 1 };
+            let sub = r.comm_split(world, color, r.rank() as i64);
+            if r.rank() == 0 {
+                // Rank 0 finishes immediately after the collectives.
+                r.compute(40e-6);
+                return 0.0;
+            }
+            let sub = sub.expect("ranks 1-2 are members");
+            let mut acc = 0.0;
+            for _ in 0..40 {
+                r.compute(2e-6);
+                std::thread::sleep(Duration::from_micros(50));
+                acc = r.allreduce_f64(sub, &[acc + 1.0], ReduceOp::Sum)[0];
+            }
+            acc
+        },
+    );
+    // The checkpoint may land before or after rank 0 finishes; either way
+    // every captured cut must verify and the survivors must complete.
+    for ckpt in &run.checkpoints {
+        ckpt.verify().expect("cut must satisfy the oracle");
+    }
+    assert_eq!(run.checkpoints.len(), 1);
+    assert_eq!(run.ranks[1].result, run.ranks[2].result);
+}

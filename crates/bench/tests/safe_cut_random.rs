@@ -1,0 +1,146 @@
+//! The randomized safe-cut harness — the paper's correctness claim as a
+//! property test.
+//!
+//! For many seeds and several world sizes, run a random workload (mixed
+//! blocking/non-blocking collectives, communicator splits/dups, ring and
+//! wildcard point-to-point), trigger a checkpoint at a seed-chosen random
+//! point, and check every captured cut with `verify_safe_cut` — an oracle
+//! *independent* of the drain implementation: it replays the execution log
+//! against the two §4.2.2 safe-state conditions. Restart runs additionally
+//! assert bit-identical continuation against an uninterrupted run.
+
+use ckpt::{run_ckpt_world, Checkpoint, CkptOptions, ResumeMode};
+use mpisim::{NetParams, VTime, WorldConfig};
+use workloads::{random_workload, RandomWorkloadCfg, SplitMix64};
+
+const SEEDS_PER_SIZE: u64 = 50;
+const STEPS: usize = 25;
+
+fn cfg(n: usize) -> WorldConfig {
+    WorldConfig::single_node(n).with_params(NetParams::slingshot11().without_jitter())
+}
+
+/// One seed: native run for reference, then a checkpointed run with the
+/// trigger at a random fraction of the native makespan. Returns the
+/// checkpoint if one fired.
+fn one_case(n: usize, seed: u64) -> Option<Checkpoint> {
+    let wl = RandomWorkloadCfg::new(seed, STEPS);
+    let native = run_ckpt_world(cfg(n), CkptOptions::native(), |r| random_workload(&wl, r));
+    let native_results: Vec<f64> = native.results().copied().collect();
+
+    let mut rng = SplitMix64::new(seed ^ 0xC0FF_EE00);
+    let frac = 0.15 + 0.6 * rng.next_f64();
+    let at = VTime::from_secs(native.makespan.as_secs() * frac);
+    let mode = if seed.is_multiple_of(2) {
+        ResumeMode::Restart
+    } else {
+        ResumeMode::Continue
+    };
+
+    let paced = RandomWorkloadCfg::new(seed, STEPS).with_pace_us(20);
+    let run = run_ckpt_world(cfg(n), CkptOptions::one_checkpoint(at, mode), |r| {
+        random_workload(&paced, r)
+    });
+
+    // Data must continue bit-identically whether or not (and however) a
+    // checkpoint intervened.
+    let got: Vec<f64> = run.results().copied().collect();
+    assert_eq!(
+        got, native_results,
+        "divergent continuation: n={n} seed={seed} mode={mode:?}"
+    );
+
+    let mut out = None;
+    for ckpt in run.checkpoints {
+        ckpt.verify().unwrap_or_else(|v| {
+            panic!("safe-cut violated: n={n} seed={seed} mode={mode:?}: {v:?}")
+        });
+        assert!(
+            ckpt.targets_exactly_reached(),
+            "drain over/under-shot its targets: n={n} seed={seed}: \
+             final={:?} achieved={:?}",
+            ckpt.final_targets,
+            ckpt.achieved
+        );
+        // The drain must reach at least the initial (Algorithm 1) targets.
+        for (g, t) in &ckpt.initial_targets {
+            assert!(
+                ckpt.achieved.get(g).copied().unwrap_or(0) >= *t,
+                "initial target unmet: n={n} seed={seed} group {g} target {t}"
+            );
+        }
+        out = Some(ckpt);
+    }
+    out
+}
+
+fn sweep(n: usize) {
+    let mut fired = 0u64;
+    for seed in 0..SEEDS_PER_SIZE {
+        if one_case(n, seed).is_some() {
+            fired += 1;
+        }
+    }
+    // The trigger races workload completion; a rare miss is tolerated but
+    // the harness must exercise real checkpoints for nearly every seed.
+    assert!(
+        fired >= SEEDS_PER_SIZE * 9 / 10,
+        "only {fired}/{SEEDS_PER_SIZE} checkpoints fired at n={n}"
+    );
+}
+
+#[test]
+fn safe_cut_random_2_ranks() {
+    sweep(2);
+}
+
+#[test]
+fn safe_cut_random_4_ranks() {
+    sweep(4);
+}
+
+#[test]
+fn safe_cut_random_8_ranks() {
+    sweep(8);
+}
+
+/// The oracle itself must still reject: corrupt a genuinely captured log
+/// and check each corruption is caught.
+#[test]
+fn corrupted_cut_is_rejected() {
+    // Find a seed whose checkpoint has a reasonably rich cut.
+    let ckpt = (0..20)
+        .find_map(|seed| one_case(4, seed).filter(|c| c.cut_events.len() >= 8))
+        .expect("a checkpoint with a non-trivial cut");
+    assert!(ckpt.verify().is_ok());
+
+    // Corruption 1: drop one participation — some node becomes partially
+    // visited (or its rank's sequence gains a gap).
+    let mut dropped = ckpt.clone();
+    dropped.cut_events.remove(dropped.cut_events.len() / 2);
+    assert!(
+        dropped.verify().is_err(),
+        "oracle accepted a cut with a missing participation"
+    );
+
+    // Corruption 2: forge an extra participation beyond the achieved
+    // target for its group.
+    let mut forged = ckpt.clone();
+    let mut extra = forged.cut_events[0].clone();
+    extra.node.seq = forged.achieved[&extra.node.ggid] + 5;
+    forged.cut_events.push(extra);
+    assert!(
+        forged.verify().is_err(),
+        "oracle accepted a forged beyond-target participation"
+    );
+
+    // Corruption 3: shift one event onto another rank — double visit on
+    // one rank, missing visit on another.
+    let mut shifted = ckpt.clone();
+    let ev = &mut shifted.cut_events[0];
+    ev.rank = (ev.rank + 1) % shifted.n_ranks;
+    assert!(
+        shifted.verify().is_err(),
+        "oracle accepted a cut with a misattributed participation"
+    );
+}

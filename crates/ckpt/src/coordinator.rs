@@ -1,0 +1,276 @@
+//! The checkpoint coordinator: issues the request, computes and installs
+//! targets (Algorithm 1), supervises the drain to quiescence, captures the
+//! image, and resumes ranks — either on the same lower half (*continue*)
+//! or into a freshly built one (*restart*).
+
+use crate::image::{Checkpoint, DrainedMsg};
+use crate::session::Session;
+use mana_core::{CkptPhase, DrainEvent, Ggid, RankState, RuntimeCapture};
+use mpisim::msg::InFlightMsg;
+use mpisim::types::CommId;
+use mpisim::{SavedMsg, VTime, World};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long the coordinator sleeps between supervision polls (wall-clock).
+const POLL: Duration = Duration::from_micros(100);
+
+/// What happens after the image is captured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeMode {
+    /// Ranks continue on the same lower half; drained messages are
+    /// re-deposited with their original timing.
+    Continue,
+    /// The lower half is discarded and rebuilt: ranks attach a fresh
+    /// world, replay their communicator logs, re-post pending receives,
+    /// and drained messages are re-deposited into the new generation.
+    Restart,
+}
+
+/// Drives checkpoints over a running [`Session`].
+pub struct Coordinator {
+    sh: Arc<Session>,
+}
+
+impl Coordinator {
+    /// Builds a coordinator for the session.
+    pub fn new(sh: Arc<Session>) -> Self {
+        Coordinator { sh }
+    }
+
+    /// Runs one full checkpoint: request → target computation → drain →
+    /// quiesce → capture → resume (per `mode`). Returns the captured image.
+    pub fn checkpoint(&self, mode: ResumeMode) -> Checkpoint {
+        let sh = &self.sh;
+        let control = &sh.control;
+        assert!(
+            sh.protocol.supports_checkpoint(),
+            "protocol {} cannot checkpoint",
+            sh.protocol.name()
+        );
+        sh.trace.push(DrainEvent::Requested);
+        control.request_checkpoint();
+        let initial = control.compute_and_install_targets();
+        // Group membership for the drain-completion check, from the same
+        // snapshot the targets came from.
+        let mut members_of: HashMap<Ggid, Vec<usize>> = HashMap::new();
+        for rc in &control.ranks {
+            let t = rc.seq_mirror.lock();
+            for (g, e) in t.iter() {
+                members_of.entry(*g).or_insert_with(|| e.members.clone());
+            }
+        }
+
+        // Supervise the drain: every member of every targeted group must
+        // reach the (possibly raised) target, all update messages must be
+        // delivered and applied, and no rank may sit inside a collective.
+        let final_targets = loop {
+            let mut finals = initial.clone();
+            let mut mems = members_of.clone();
+            for (g, (t, m)) in sh.bus.raises() {
+                let e = finals.entry(g).or_insert(0);
+                *e = (*e).max(t);
+                mems.entry(g).or_insert(m);
+            }
+            if self.drain_complete(&finals, &mems) {
+                break finals;
+            }
+            std::thread::sleep(POLL);
+        };
+
+        // Quiesce: every rank parks at its current interposition point and
+        // publishes its capture.
+        control.set_phase(CkptPhase::Quiescing);
+        while !control.ranks.iter().all(|r| {
+            matches!(
+                r.state(),
+                RankState::Quiesced
+                    | RankState::RecvParked
+                    | RankState::InTrivialBarrier
+                    | RankState::Finished
+            )
+        }) {
+            std::thread::sleep(POLL);
+        }
+        control.set_phase(CkptPhase::Capturing);
+
+        let world = sh.current_world();
+        assert_eq!(
+            world.live_collectives(),
+            0,
+            "collective invariant (§2.2) violated at capture"
+        );
+        let captures: Vec<RuntimeCapture> = control
+            .ranks
+            .iter()
+            .enumerate()
+            .map(|(i, rc)| {
+                rc.capture_slot
+                    .lock()
+                    .clone()
+                    .unwrap_or_else(|| panic!("rank {i} parked without publishing a capture"))
+            })
+            .collect();
+
+        // Drain in-flight point-to-point messages, translating lower-half
+        // communicator ids into the destination's virtual ids. A quiesce
+        // may have re-deposited an unmatched message at its queue's tail,
+        // so each (src → dst) channel is re-ordered by sequence number —
+        // but only within the queue positions that channel already
+        // occupies: cross-sender deposit order is what wildcard
+        // (`ANY_SOURCE`) matching observes, and must survive the
+        // checkpoint unchanged.
+        let mut in_flight: Vec<DrainedMsg> = Vec::new();
+        for (dst, cap) in captures.iter().enumerate() {
+            let reverse: HashMap<CommId, u64> =
+                cap.vcomm_to_lower.iter().map(|(v, c)| (*c, *v)).collect();
+            let mut queue: Vec<DrainedMsg> = Vec::new();
+            for m in world.take_unexpected(dst) {
+                let vcomm = *reverse.get(&m.comm).unwrap_or_else(|| {
+                    panic!(
+                        "in-flight message on a comm unknown to rank {dst}: {:?}",
+                        m.comm
+                    )
+                });
+                queue.push(DrainedMsg {
+                    arrival: m.arrival,
+                    saved: SavedMsg {
+                        src_world: m.src_world,
+                        dst_world: m.dst_world,
+                        vcomm,
+                        tag: m.tag,
+                        payload: m.payload,
+                        seq: m.seq,
+                    },
+                });
+            }
+            let mut by_src: HashMap<usize, Vec<usize>> = HashMap::new();
+            for (i, d) in queue.iter().enumerate() {
+                by_src.entry(d.saved.src_world).or_default().push(i);
+            }
+            for positions in by_src.values() {
+                let mut msgs: Vec<DrainedMsg> =
+                    positions.iter().map(|&i| queue[i].clone()).collect();
+                msgs.sort_by_key(|d| d.saved.seq);
+                for (&i, m) in positions.iter().zip(msgs) {
+                    queue[i] = m;
+                }
+            }
+            in_flight.extend(queue);
+        }
+
+        let cut_events = sh.exec_log.events();
+        let mut achieved: HashMap<Ggid, u64> = HashMap::new();
+        for c in &captures {
+            for (g, e) in c.seq_table.iter() {
+                let a = achieved.entry(*g).or_insert(0);
+                *a = (*a).max(e.seq);
+            }
+        }
+        let ckpt = Checkpoint {
+            epoch: world.epoch,
+            n_ranks: control.n_ranks,
+            initial_targets: initial,
+            final_targets,
+            achieved,
+            captures,
+            in_flight: in_flight.clone(),
+            cut_events,
+        };
+        sh.trace.push(DrainEvent::Committed);
+
+        // Resume.
+        match mode {
+            ResumeMode::Continue => {
+                for d in &in_flight {
+                    let comm = ckpt.captures[d.saved.dst_world].vcomm_to_lower[&d.saved.vcomm];
+                    world.deposit_raw(self.rebuild_msg(&d.saved, comm), d.arrival);
+                }
+            }
+            ResumeMode::Restart => {
+                let live: Vec<usize> = (0..control.n_ranks)
+                    .filter(|&i| control.ranks[i].state() != RankState::Finished)
+                    .collect();
+                let new_world = World::with_epoch(sh.cfg.clone(), world.epoch + 1);
+                *sh.world.lock() = Arc::clone(&new_world);
+                control.world_epoch.fetch_add(1, SeqCst);
+                control.replayed_count.store(0, SeqCst);
+                for &i in &live {
+                    *control.ranks[i].new_world.lock() = Some(Arc::clone(&new_world));
+                }
+                control.set_phase(CkptPhase::Resuming);
+                while (control.replayed_count.load(SeqCst) as usize) < live.len() {
+                    std::thread::sleep(POLL);
+                }
+                for d in &in_flight {
+                    let dst = d.saved.dst_world;
+                    if control.ranks[dst].state() == RankState::Finished {
+                        continue; // a finished rank will never receive it
+                    }
+                    let comm = {
+                        let map = control.ranks[dst].replayed_comms.lock();
+                        *map.get(&d.saved.vcomm).unwrap_or_else(|| {
+                            panic!("rank {dst} replay lost vcomm {}", d.saved.vcomm)
+                        })
+                    };
+                    // The payload is already local after restart: available
+                    // immediately.
+                    new_world.deposit_raw(self.rebuild_msg(&d.saved, comm), VTime::ZERO);
+                }
+            }
+        }
+        control.resume_gen.fetch_add(1, SeqCst);
+        control.clear_pending();
+        control.reset_after_checkpoint();
+        sh.bus.reset();
+        sh.trace.push(DrainEvent::Resumed);
+        ckpt
+    }
+
+    fn rebuild_msg(&self, s: &SavedMsg, comm: CommId) -> InFlightMsg {
+        InFlightMsg {
+            src_world: s.src_world,
+            dst_world: s.dst_world,
+            comm,
+            tag: s.tag,
+            payload: s.payload.clone(),
+            sent: VTime::ZERO,
+            arrival: VTime::ZERO,
+            seq: s.seq,
+        }
+    }
+
+    /// Whether the drain has stably terminated for `finals`.
+    fn drain_complete(
+        &self,
+        finals: &HashMap<Ggid, u64>,
+        members_of: &HashMap<Ggid, Vec<usize>>,
+    ) -> bool {
+        let control = &self.sh.control;
+        for (g, &t) in finals {
+            if t == 0 {
+                continue;
+            }
+            for &r in members_of.get(g).map(Vec::as_slice).unwrap_or(&[]) {
+                let rc = &control.ranks[r];
+                if rc.state() == RankState::Finished {
+                    continue;
+                }
+                if rc.seq_mirror.lock().seq(*g) < t {
+                    return false;
+                }
+            }
+        }
+        // `all_targets_met` closes the overshoot race: a rank whose
+        // increment raced the snapshot is visible in its mirror at once,
+        // but its raise reaches the bus only later — until then the rank
+        // has not re-published `targets_met` (reset at request time), so
+        // the coordinator keeps waiting.
+        control.all_targets_met()
+            && control.updates_balanced()
+            && self.sh.bus.all_empty()
+            && !control.any_in_collective()
+    }
+}

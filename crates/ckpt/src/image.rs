@@ -1,0 +1,120 @@
+//! The checkpoint image: everything captured at a safe state, in
+//! restart-stable terms, plus the evidence the safe-cut oracle consumes.
+
+use mana_core::{verify_safe_cut, ExecEvent, Ggid, RuntimeCapture, Violation};
+use mpisim::{SavedMsg, VTime};
+use std::collections::HashMap;
+
+/// One drained in-flight message. The restart-stable part is `saved`
+/// (virtualized communicator id, payload, channel sequence); `arrival` is
+/// kept only so the checkpoint-and-continue path can re-deposit with the
+/// original timing.
+#[derive(Debug, Clone)]
+pub struct DrainedMsg {
+    /// The message in restart-stable form.
+    pub saved: SavedMsg,
+    /// Original arrival virtual time (continue-path fidelity only).
+    pub arrival: VTime,
+}
+
+/// A captured checkpoint: per-rank runtime state, drained in-flight
+/// messages, and the cut evidence for the safe-cut verifier.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Lower-half generation the image was captured from.
+    pub epoch: u64,
+    /// Number of ranks.
+    pub n_ranks: usize,
+    /// Algorithm 1's initial targets (global max of snapshotted `SEQ[]`).
+    pub initial_targets: HashMap<Ggid, u64>,
+    /// Initial targets merged with every overshoot raise: the targets the
+    /// drain actually ran to.
+    pub final_targets: HashMap<Ggid, u64>,
+    /// `max SEQ[g]` over ranks at capture, for every group ever registered.
+    /// On every targeted group this must equal `final_targets[g]`.
+    pub achieved: HashMap<Ggid, u64>,
+    /// Per-rank runtime captures, indexed by rank.
+    pub captures: Vec<RuntimeCapture>,
+    /// Drained in-flight point-to-point messages, sorted per channel.
+    pub in_flight: Vec<DrainedMsg>,
+    /// Snapshot of the execution log at capture (the cut).
+    pub cut_events: Vec<ExecEvent>,
+}
+
+impl Checkpoint {
+    /// Runs the independent safe-cut oracle (paper §4.2.2) over the cut:
+    /// every visited node fully visited, nothing beyond the achieved
+    /// per-group maxima, no per-rank sequence gaps.
+    pub fn verify(&self) -> Result<(), Vec<Violation>> {
+        verify_safe_cut(&self.cut_events, Some(&self.achieved))
+    }
+
+    /// Checks that the drain ran exactly to its targets: for every group
+    /// with a final target, the achieved sequence equals the target.
+    pub fn targets_exactly_reached(&self) -> bool {
+        self.final_targets
+            .iter()
+            .all(|(g, &t)| self.achieved.get(g).copied().unwrap_or(0) == t)
+    }
+
+    /// Total payload bytes of drained in-flight messages.
+    pub fn in_flight_bytes(&self) -> usize {
+        self.in_flight.iter().map(|m| m.saved.payload.len()).sum()
+    }
+
+    /// Virtual time at capture: the max of per-rank capture clocks.
+    pub fn capture_clock(&self) -> VTime {
+        VTime::max_of(self.captures.iter().map(|c| c.clock))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mana_core::Node;
+
+    fn ev(rank: usize, g: u64, seq: u64, members: &[usize]) -> ExecEvent {
+        ExecEvent {
+            rank,
+            node: Node { ggid: Ggid(g), seq },
+            members: members.to_vec(),
+        }
+    }
+
+    fn ckpt(events: Vec<ExecEvent>, achieved: &[(u64, u64)]) -> Checkpoint {
+        Checkpoint {
+            epoch: 0,
+            n_ranks: 2,
+            initial_targets: HashMap::new(),
+            final_targets: HashMap::new(),
+            achieved: achieved.iter().map(|&(g, s)| (Ggid(g), s)).collect(),
+            captures: Vec::new(),
+            in_flight: Vec::new(),
+            cut_events: events,
+        }
+    }
+
+    #[test]
+    fn verify_accepts_consistent_cut() {
+        let c = ckpt(vec![ev(0, 1, 1, &[0, 1]), ev(1, 1, 1, &[0, 1])], &[(1, 1)]);
+        assert!(c.verify().is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_partial_visit() {
+        let c = ckpt(vec![ev(0, 1, 1, &[0, 1])], &[(1, 1)]);
+        assert!(matches!(
+            c.verify().unwrap_err()[0],
+            Violation::PartiallyVisited(..)
+        ));
+    }
+
+    #[test]
+    fn targets_exactly_reached_checks_equality() {
+        let mut c = ckpt(vec![], &[(1, 2)]);
+        c.final_targets.insert(Ggid(1), 2);
+        assert!(c.targets_exactly_reached());
+        c.final_targets.insert(Ggid(1), 3);
+        assert!(!c.targets_exactly_reached());
+    }
+}

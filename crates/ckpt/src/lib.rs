@@ -1,1 +1,32 @@
-//! placeholder
+//! # ckpt — the end-to-end checkpoint/restart orchestrator
+//!
+//! Ties the paper's pieces into a running system:
+//!
+//! * [`rank::CcRank`] — the per-rank wrapper layer: every MPI-like call
+//!   interposes on the CC drain protocol (sequence gate, overshoot raises,
+//!   entry parking — paper Algorithms 2 and 3) and virtualizes handles so
+//!   they survive restart.
+//! * [`coordinator::Coordinator`] — issues checkpoint requests through
+//!   [`mana_core::CkptControl`], computes `TARGET[]` as the global max of
+//!   snapshotted `SEQ[]` tables (Algorithm 1), supervises the drain to
+//!   quiescence, captures a [`image::Checkpoint`] (sequence tables,
+//!   communicator logs, pending receives, drained in-flight messages), and
+//!   resumes — continuing on the same lower half or restarting into a
+//!   freshly built [`mpisim::World`] via [`mpisim::Ctx::attach_world`].
+//! * [`runner::run_ckpt_world`] — the harness entry point: one thread per
+//!   rank plus trigger supervision, returning every captured checkpoint for
+//!   oracle verification with [`mana_core::verify_safe_cut`].
+
+pub mod bus;
+pub mod coordinator;
+pub mod image;
+pub mod rank;
+pub mod runner;
+pub mod session;
+
+pub use bus::{TargetUpdate, UpdateBus};
+pub use coordinator::{Coordinator, ResumeMode};
+pub use image::{Checkpoint, DrainedMsg};
+pub use rank::CcRank;
+pub use runner::{run_ckpt_world, CkptOptions, CkptRunReport, CkptTrigger};
+pub use session::Session;

@@ -1,0 +1,881 @@
+//! `CcRank`: one rank's checkpoint-aware MPI interface — the wrapper layer
+//! of the paper's CC algorithm.
+//!
+//! Applications call MPI-like methods here instead of on [`mpisim::Ctx`].
+//! Every collective entry runs the drain gate: sequence numbers are
+//! incremented under the shared-mirror lock (the snapshot-race contract of
+//! [`mana_core::control`]), overshoots raise targets and push updates
+//! (Algorithm 2), and ranks that have met every target park at the wrapper
+//! entry until released or quiesced (Algorithm 3). At quiesce the rank
+//! completes all initiated non-blocking collectives (§4.3.2), reverts
+//! matched-but-uncompleted receives into the mailbox, and publishes a
+//! [`RuntimeCapture`]. At restart it attaches the fresh lower half and
+//! rebuilds its communicators directly from the captured groups.
+
+use crate::bus::TargetUpdate;
+use crate::session::Session;
+use bytes::Bytes;
+use mana_core::capture::PendingRecv;
+use mana_core::{
+    ggid_of, ggid_of_sorted, CallCounters, CkptPhase, CommOp, DrainEvent, Ggid, RankState,
+    RuntimeCapture, TargetTable, VComm, VCommTable, VReq, VReqKind, VReqState, VReqTable,
+    VCOMM_WORLD,
+};
+use mpisim::collective::RedSpec;
+use mpisim::comm::{create_color, SplitKey};
+use mpisim::dtype::{decode_f64, encode_f64};
+use mpisim::{
+    CollOp, Comm, Completion, Ctx, DType, Group, ReduceOp, SrcSel, Status, TagSel, VTime, World,
+};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
+
+/// One rank's checkpoint-aware handle to the simulated MPI library.
+pub struct CcRank {
+    ctx: Ctx,
+    sh: Arc<Session>,
+    rank: usize,
+    targets: TargetTable,
+    targets_installed: bool,
+    vcomms: VCommTable,
+    vreqs: VReqTable,
+    counters: CallCounters,
+}
+
+impl CcRank {
+    /// Creates the wrapper for `rank` on the session's current world and
+    /// registers `MPI_COMM_WORLD`'s group.
+    pub fn new(sh: Arc<Session>, rank: usize) -> CcRank {
+        let world = sh.current_world();
+        let ctx = Ctx::new(world, rank);
+        let mut r = CcRank {
+            ctx,
+            sh,
+            rank,
+            targets: TargetTable::new(),
+            targets_installed: false,
+            vcomms: VCommTable::new(),
+            vreqs: VReqTable::new(),
+            counters: CallCounters::default(),
+        };
+        let wcomm = r.ctx.comm_world();
+        let ggid = ggid_of(wcomm.group());
+        r.sh.control.ranks[rank]
+            .seq_mirror
+            .lock()
+            .register_group(ggid, wcomm.group().sorted_members());
+        r.vcomms.bind_world(wcomm, ggid);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// This rank's world rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.ctx.world_size()
+    }
+
+    /// Current virtual time.
+    pub fn clock(&self) -> VTime {
+        self.ctx.clock()
+    }
+
+    /// Advances the clock by `secs` of local computation.
+    pub fn compute(&mut self, secs: f64) {
+        self.ctx.compute(secs);
+    }
+
+    /// `MPI_COMM_WORLD`'s virtual id.
+    pub fn world_vcomm(&self) -> VComm {
+        VCOMM_WORLD
+    }
+
+    /// The caller's rank in the given communicator.
+    pub fn comm_rank(&self, vc: VComm) -> usize {
+        self.vcomms.resolve(vc).0.rank()
+    }
+
+    /// Number of members of the given communicator.
+    pub fn comm_size(&self, vc: VComm) -> usize {
+        self.vcomms.resolve(vc).0.size()
+    }
+
+    /// Interposition counters so far.
+    pub fn counters(&self) -> CallCounters {
+        self.counters
+    }
+
+    // ------------------------------------------------------------------
+    // Control-plane servicing
+    // ------------------------------------------------------------------
+
+    /// Cheap per-interposition servicing: publish the clock, pick up
+    /// targets and updates when a checkpoint is pending, clean up after a
+    /// finished one.
+    fn service_control(&mut self) {
+        let sh = Arc::clone(&self.sh);
+        let ctl = &sh.control.ranks[self.rank];
+        ctl.clock_ns.store(
+            (self.ctx.clock().as_secs() * 1e9) as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        if sh.control.is_pending() {
+            if ctl.targets_ready.load(SeqCst) {
+                self.install_targets_if_new();
+                self.apply_updates();
+                self.publish_met();
+            }
+        } else if self.targets_installed {
+            self.targets.clear();
+            self.targets_installed = false;
+        }
+    }
+
+    /// Installs the coordinator's initial targets once per checkpoint.
+    fn install_targets_if_new(&mut self) {
+        if self.targets_installed {
+            return;
+        }
+        let sh = Arc::clone(&self.sh);
+        let t = sh.control.ranks[self.rank].initial_targets.lock().clone();
+        let mut listing: Vec<(Ggid, u64)> = t.iter().map(|(g, v)| (*g, *v)).collect();
+        listing.sort();
+        self.targets.install(t);
+        self.targets_installed = true;
+        sh.trace
+            .push(DrainEvent::TargetsInstalled(self.rank, listing));
+    }
+
+    /// Applies every queued target update (Algorithm 3's receive path).
+    fn apply_updates(&mut self) {
+        let sh = Arc::clone(&self.sh);
+        for u in sh.bus.drain(self.rank) {
+            let changed = self.targets.raise(u.ggid, u.target);
+            sh.control.ranks[self.rank]
+                .updates_recv
+                .fetch_add(1, SeqCst);
+            self.counters.drain_updates_recv += 1;
+            sh.trace.push(DrainEvent::UpdateReceived(
+                self.rank, u.ggid, u.target, changed,
+            ));
+        }
+    }
+
+    /// Publishes whether all local targets are met.
+    fn publish_met(&mut self) {
+        let sh = Arc::clone(&self.sh);
+        let met = {
+            let t = sh.control.ranks[self.rank].seq_mirror.lock();
+            self.targets.reached_by(&t)
+        };
+        sh.control.ranks[self.rank].targets_met.store(met, SeqCst);
+    }
+
+    /// Blocks until targets for the pending checkpoint are installed.
+    /// Returns `false` if the checkpoint ended while waiting.
+    fn await_targets(&mut self) -> bool {
+        let sh = Arc::clone(&self.sh);
+        let ctl = &sh.control.ranks[self.rank];
+        ctl.park_until(|| ctl.targets_ready.load(SeqCst) || !sh.control.is_pending());
+        if !sh.control.is_pending() {
+            self.service_control();
+            return false;
+        }
+        self.install_targets_if_new();
+        true
+    }
+
+    /// Records a collective participation in the shared execution log.
+    fn record_exec(&mut self, ggid: Ggid, seq: u64) {
+        let members = self.sh.control.ranks[self.rank]
+            .seq_mirror
+            .lock()
+            .members(ggid)
+            .expect("collective on registered group")
+            .to_vec();
+        self.sh.exec_log.record(self.rank, ggid, seq, members);
+    }
+
+    // ------------------------------------------------------------------
+    // The drain gate (Algorithms 2 & 3)
+    // ------------------------------------------------------------------
+
+    /// The collective-wrapper entry: counts the call on the group's
+    /// sequence number, subject to the drain protocol. Returns the resolved
+    /// lower-half communicator and the new sequence number.
+    fn coll_gate(&mut self, vc: VComm) -> (Comm, Ggid, u64) {
+        loop {
+            self.service_control();
+            let sh = Arc::clone(&self.sh);
+            let (comm, ggid) = {
+                let (c, g) = self.vcomms.resolve(vc);
+                (c.clone(), *g)
+            };
+            if !sh.control.is_pending() {
+                // Fast path, with the snapshot-race contract: increment
+                // under the mirror lock, then observe `pending`.
+                let seq = sh.control.ranks[self.rank]
+                    .seq_mirror
+                    .lock()
+                    .increment(ggid);
+                if sh.control.is_pending() {
+                    self.overshoot(ggid, seq);
+                }
+                self.record_exec(ggid, seq);
+                return (comm, ggid, seq);
+            }
+            // Drain mode (Algorithm 3): a rank with every target met parks
+            // at the wrapper entry; a rank with ANY unmet target keeps
+            // executing its program toward them — and every collective it
+            // runs past a target raises that target and pushes updates,
+            // the cascade of Figure 3b.
+            if !self.await_targets() {
+                continue;
+            }
+            self.apply_updates();
+            let all_met = {
+                let t = sh.control.ranks[self.rank].seq_mirror.lock();
+                self.targets.reached_by(&t)
+            };
+            if !all_met {
+                let seq = sh.control.ranks[self.rank]
+                    .seq_mirror
+                    .lock()
+                    .increment(ggid);
+                sh.trace.push(DrainEvent::DrainStep(self.rank, ggid, seq));
+                if seq > self.targets.get(ggid).unwrap_or(0) {
+                    self.raise_and_broadcast(ggid, seq);
+                }
+                self.record_exec(ggid, seq);
+                self.publish_met();
+                return (comm, ggid, seq);
+            }
+            self.park_at_entry();
+            // Re-resolve on the next loop: a restart may have replaced the
+            // lower half while we were parked.
+        }
+    }
+
+    /// Algorithm 2's overshoot path: our increment raced the coordinator's
+    /// snapshot. Raise the target to cover it and push updates to the other
+    /// members.
+    fn overshoot(&mut self, ggid: Ggid, seq: u64) {
+        if !self.await_targets() {
+            return;
+        }
+        self.apply_updates();
+        if seq > self.targets.get(ggid).unwrap_or(0) {
+            self.raise_and_broadcast(ggid, seq);
+        }
+        self.publish_met();
+    }
+
+    /// Raises `TARGET[ggid]` to `seq` locally, records the raise for the
+    /// coordinator, and pushes updates to every other member.
+    fn raise_and_broadcast(&mut self, ggid: Ggid, seq: u64) {
+        self.targets.raise(ggid, seq);
+        let sh = Arc::clone(&self.sh);
+        let members = sh.control.ranks[self.rank]
+            .seq_mirror
+            .lock()
+            .members(ggid)
+            .map(<[usize]>::to_vec)
+            .unwrap_or_default();
+        sh.trace
+            .push(DrainEvent::TargetRaised(self.rank, ggid, seq));
+        sh.bus.record_raise(ggid, seq, members.clone());
+        for m in members {
+            if m != self.rank {
+                sh.bus.send(
+                    &sh.control,
+                    self.rank,
+                    m,
+                    TargetUpdate { ggid, target: seq },
+                );
+                self.counters.drain_updates_sent += 1;
+                sh.trace
+                    .push(DrainEvent::UpdateSent(self.rank, m, ggid, seq));
+            }
+        }
+    }
+
+    /// Algorithm 3's parked receive loop: all targets met, wait at the
+    /// wrapper entry for a raise, the quiesce signal, or the end of the
+    /// checkpoint.
+    fn park_at_entry(&mut self) {
+        let sh = Arc::clone(&self.sh);
+        let ctl = &sh.control.ranks[self.rank];
+        ctl.set_state(RankState::EntryParked);
+        sh.trace.push(DrainEvent::Parked(self.rank));
+        self.publish_met();
+        loop {
+            if !sh.control.is_pending() {
+                break;
+            }
+            if sh.control.phase() == CkptPhase::Quiescing {
+                self.quiesce(RankState::Quiesced);
+                break;
+            }
+            if sh.bus.has_pending(self.rank) {
+                self.apply_updates();
+                self.publish_met();
+                sh.trace.push(DrainEvent::Unparked(self.rank));
+                break;
+            }
+            ctl.park_until(|| {
+                !sh.control.is_pending()
+                    || sh.control.phase() != CkptPhase::Draining
+                    || sh.bus.has_pending(self.rank)
+            });
+        }
+        let ctl = &sh.control.ranks[self.rank];
+        ctl.set_state(if sh.control.is_pending() {
+            RankState::Draining
+        } else {
+            RankState::Running
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Quiesce, capture, restore
+    // ------------------------------------------------------------------
+
+    /// Parks for capture: completes every initiated non-blocking
+    /// collective (§4.3.2), reverts matched receives, publishes the
+    /// [`RuntimeCapture`], and waits for resume — attaching a fresh lower
+    /// half first if the coordinator installed one (restart).
+    fn quiesce(&mut self, state: RankState) {
+        // §4.3.2: every initiated non-blocking collective runs to
+        // completion; all participants have initiated (targets met), so
+        // these waits terminate.
+        for v in self.vreqs.active_collectives() {
+            if let Some(VReqState::Active(mut req, _)) = self.vreqs.take(v) {
+                let c = self.ctx.wait(&mut req);
+                self.vreqs.put_back(v, VReqState::Ready(c));
+            }
+        }
+        // Matched-but-uncompleted receives: the message returns to the
+        // mailbox so the capture drain records it as in-flight.
+        let world = Arc::clone(self.ctx.world());
+        for v in self.vreqs.active_recv_ids() {
+            if let Some(VReqState::Active(mut req, kind)) = self.vreqs.take(v) {
+                if let Some(msg) = req.unmatch() {
+                    let arrival = msg.arrival;
+                    world.deposit_raw(msg, arrival);
+                }
+                self.vreqs.put_back(v, VReqState::Active(req, kind));
+            }
+        }
+        let sh = Arc::clone(&self.sh);
+        let ctl = &sh.control.ranks[self.rank];
+        *ctl.capture_slot.lock() = Some(self.build_capture());
+        let my_gen = sh.control.resume_gen.load(SeqCst);
+        ctl.set_state(state);
+        sh.trace.push(DrainEvent::Quiesced(self.rank));
+        let mut restarted = false;
+        loop {
+            ctl.park_until(|| {
+                sh.control.resume_gen.load(SeqCst) > my_gen
+                    || (sh.control.phase() == CkptPhase::Resuming && ctl.new_world.lock().is_some())
+            });
+            let fresh = ctl.new_world.lock().take();
+            if let Some(w) = fresh {
+                self.restore_into(w);
+                restarted = true;
+                continue;
+            }
+            if sh.control.resume_gen.load(SeqCst) > my_gen {
+                break;
+            }
+        }
+        if restarted {
+            self.repost_pending_recvs();
+        }
+        sh.control.ranks[self.rank].set_state(RankState::Running);
+    }
+
+    /// Builds this rank's runtime capture.
+    fn build_capture(&self) -> RuntimeCapture {
+        let ctl = &self.sh.control.ranks[self.rank];
+        RuntimeCapture {
+            rank: self.rank,
+            clock: self.ctx.clock(),
+            seq_table: ctl.seq_mirror.lock().clone(),
+            comm_log: self.vcomms.log().to_vec(),
+            pending_recvs: self
+                .vreqs
+                .pending_recvs()
+                .into_iter()
+                .map(|(v, vc, src, tag)| PendingRecv {
+                    vreq: v.0,
+                    vcomm: vc.0,
+                    src,
+                    tag,
+                })
+                .collect(),
+            pending_barrier: *ctl.pending_barrier.lock(),
+            counters: self.counters,
+            vcomm_to_lower: self.vcomms.lower_map(),
+            vcomm_members: self.vcomms.members_map(),
+        }
+    }
+
+    /// Restart: attach the fresh lower half and rebuild every virtual
+    /// communicator directly from its captured group — no creation
+    /// collectives, so replay cannot hang on already-finished members.
+    fn restore_into(&mut self, w: Arc<World>) {
+        let saved_members = self.vcomms.members_map();
+        self.ctx.attach_world(Arc::clone(&w));
+        self.vcomms.invalidate_lower();
+        let wcomm = self.ctx.comm_world();
+        self.vcomms
+            .bind_world(wcomm.clone(), ggid_of(wcomm.group()));
+        // Per-parent creation ordinals: every member of a parent logged the
+        // same creation ops in the same order, so these agree globally and
+        // members derive identical registry keys without communicating.
+        // Replay keys live at the TOP of the seq space: post-restart
+        // creations derive their keys from `Ctx`'s per-comm collective
+        // ordinals, which restart from zero, and must never collide with a
+        // replayed communicator's key.
+        let mut ordinals: HashMap<u64, u64> = HashMap::new();
+        for rec in self.vcomms.log().to_vec() {
+            let (parent, color) = match &rec.op {
+                CommOp::Dup { parent } => (*parent, i64::MIN),
+                CommOp::Split { parent, color, .. } => (*parent, *color),
+                CommOp::Create { parent, members } => (*parent, create_color(members)),
+            };
+            let seq = {
+                let o = ordinals.entry(parent.0).or_insert(0);
+                let s = *o;
+                *o += 1;
+                u64::MAX - s
+            };
+            if let Some(v) = rec.result {
+                let members = saved_members
+                    .get(&v.0)
+                    .expect("capture holds members of every live vcomm")
+                    .clone();
+                let parent_lower = self.vcomms.resolve(parent).0.id();
+                let inner = w.restore_comm(
+                    SplitKey {
+                        parent: parent_lower,
+                        seq,
+                        color,
+                    },
+                    Group::new(members.clone()),
+                );
+                let comm = Comm::for_world_rank(inner, self.rank);
+                let mut sorted = members;
+                sorted.sort_unstable();
+                self.vcomms.rebind(v, comm, ggid_of_sorted(&sorted));
+            }
+        }
+        let sh = Arc::clone(&self.sh);
+        *sh.control.ranks[self.rank].replayed_comms.lock() = self.vcomms.lower_map();
+        sh.control.replayed_count.fetch_add(1, SeqCst);
+    }
+
+    /// Re-posts every pending receive against the fresh lower half.
+    fn repost_pending_recvs(&mut self) {
+        for (v, vc, src, tag) in self.vreqs.pending_recvs() {
+            let comm = self.vcomms.resolve(vc).0.clone();
+            let req = self.ctx.irecv(&comm, src, tag);
+            self.vreqs.replace_request(v, req);
+        }
+    }
+
+    /// Runner hook: publishes the final capture and the `Finished` state.
+    pub(crate) fn finish(&mut self) {
+        let sh = Arc::clone(&self.sh);
+        let cap = self.build_capture();
+        let ctl = &sh.control.ranks[self.rank];
+        ctl.clock_ns.store(
+            (self.ctx.clock().as_secs() * 1e9) as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        *ctl.capture_slot.lock() = Some(cap);
+        ctl.targets_met.store(true, SeqCst);
+        ctl.set_state(RankState::Finished);
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking collectives
+    // ------------------------------------------------------------------
+
+    /// Blocking collective entry point (all specific calls route here).
+    pub fn collective(
+        &mut self,
+        vc: VComm,
+        op: CollOp,
+        root: usize,
+        payload: Bytes,
+        red: Option<RedSpec>,
+    ) -> Bytes {
+        self.counters.coll_blocking += 1;
+        let (comm, _g, _s) = self.coll_gate(vc);
+        let sh = Arc::clone(&self.sh);
+        sh.control.ranks[self.rank]
+            .in_collective
+            .store(true, SeqCst);
+        let out = self.ctx.collective(&comm, op, root, payload, red);
+        sh.control.ranks[self.rank]
+            .in_collective
+            .store(false, SeqCst);
+        self.service_control();
+        out
+    }
+
+    /// `MPI_Barrier`.
+    pub fn barrier(&mut self, vc: VComm) {
+        let _ = self.collective(vc, CollOp::Barrier, 0, Bytes::new(), None);
+    }
+
+    /// `MPI_Bcast`.
+    pub fn bcast(&mut self, vc: VComm, root: usize, data: Bytes) -> Bytes {
+        self.collective(vc, CollOp::Bcast, root, data, None)
+    }
+
+    /// `MPI_Reduce`.
+    pub fn reduce(
+        &mut self,
+        vc: VComm,
+        root: usize,
+        data: Bytes,
+        dtype: DType,
+        op: ReduceOp,
+    ) -> Bytes {
+        self.collective(vc, CollOp::Reduce, root, data, Some(RedSpec { dtype, op }))
+    }
+
+    /// `MPI_Allreduce`.
+    pub fn allreduce(&mut self, vc: VComm, data: Bytes, dtype: DType, op: ReduceOp) -> Bytes {
+        self.collective(vc, CollOp::Allreduce, 0, data, Some(RedSpec { dtype, op }))
+    }
+
+    /// `MPI_Allreduce` on `f64` slices (convenience).
+    pub fn allreduce_f64(&mut self, vc: VComm, data: &[f64], op: ReduceOp) -> Vec<f64> {
+        decode_f64(&self.allreduce(vc, encode_f64(data), DType::F64, op))
+    }
+
+    /// `MPI_Gather`.
+    pub fn gather(&mut self, vc: VComm, root: usize, data: Bytes) -> Bytes {
+        self.collective(vc, CollOp::Gather, root, data, None)
+    }
+
+    /// `MPI_Allgather`.
+    pub fn allgather(&mut self, vc: VComm, data: Bytes) -> Bytes {
+        self.collective(vc, CollOp::Allgather, 0, data, None)
+    }
+
+    /// `MPI_Alltoall`.
+    pub fn alltoall(&mut self, vc: VComm, data: Bytes) -> Bytes {
+        self.collective(vc, CollOp::Alltoall, 0, data, None)
+    }
+
+    /// `MPI_Scatter`.
+    pub fn scatter(&mut self, vc: VComm, root: usize, data: Bytes) -> Bytes {
+        self.collective(vc, CollOp::Scatter, root, data, None)
+    }
+
+    /// `MPI_Scan`.
+    pub fn scan(&mut self, vc: VComm, data: Bytes, dtype: DType, op: ReduceOp) -> Bytes {
+        self.collective(vc, CollOp::Scan, 0, data, Some(RedSpec { dtype, op }))
+    }
+
+    /// `MPI_Reduce_scatter_block`.
+    pub fn reduce_scatter(&mut self, vc: VComm, data: Bytes, dtype: DType, op: ReduceOp) -> Bytes {
+        self.collective(
+            vc,
+            CollOp::ReduceScatter,
+            0,
+            data,
+            Some(RedSpec { dtype, op }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Non-blocking collectives (initiation counts — §4.3.1)
+    // ------------------------------------------------------------------
+
+    /// Non-blocking collective entry point.
+    pub fn icollective(
+        &mut self,
+        vc: VComm,
+        op: CollOp,
+        root: usize,
+        payload: Bytes,
+        red: Option<RedSpec>,
+    ) -> VReq {
+        assert!(
+            self.sh.protocol.supports_nonblocking_collectives(),
+            "{} does not support non-blocking collectives",
+            self.sh.protocol.name()
+        );
+        self.counters.coll_nonblocking += 1;
+        let (comm, _g, _s) = self.coll_gate(vc);
+        let sh = Arc::clone(&self.sh);
+        sh.control.ranks[self.rank]
+            .in_collective
+            .store(true, SeqCst);
+        let req = self.ctx.icollective(&comm, op, root, payload, red);
+        sh.control.ranks[self.rank]
+            .in_collective
+            .store(false, SeqCst);
+        self.vreqs.insert(req, VReqKind::Coll { vcomm: vc })
+    }
+
+    /// `MPI_Ibarrier`.
+    pub fn ibarrier(&mut self, vc: VComm) -> VReq {
+        self.icollective(vc, CollOp::Barrier, 0, Bytes::new(), None)
+    }
+
+    /// `MPI_Ibcast`.
+    pub fn ibcast(&mut self, vc: VComm, root: usize, data: Bytes) -> VReq {
+        self.icollective(vc, CollOp::Bcast, root, data, None)
+    }
+
+    /// `MPI_Iallreduce`.
+    pub fn iallreduce(&mut self, vc: VComm, data: Bytes, dtype: DType, op: ReduceOp) -> VReq {
+        self.icollective(vc, CollOp::Allreduce, 0, data, Some(RedSpec { dtype, op }))
+    }
+
+    /// `MPI_Iallgather`.
+    pub fn iallgather(&mut self, vc: VComm, data: Bytes) -> VReq {
+        self.icollective(vc, CollOp::Allgather, 0, data, None)
+    }
+
+    /// `MPI_Ialltoall`.
+    pub fn ialltoall(&mut self, vc: VComm, data: Bytes) -> VReq {
+        self.icollective(vc, CollOp::Alltoall, 0, data, None)
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// `MPI_Isend`.
+    pub fn isend(&mut self, vc: VComm, to: usize, tag: u32, payload: impl Into<Bytes>) -> VReq {
+        self.service_control();
+        self.counters.p2p_sends += 1;
+        let comm = self.vcomms.resolve(vc).0.clone();
+        let req = self.ctx.isend(&comm, to, tag, payload);
+        self.vreqs.insert(req, VReqKind::Send)
+    }
+
+    /// `MPI_Send`.
+    pub fn send(&mut self, vc: VComm, to: usize, tag: u32, payload: impl Into<Bytes>) {
+        let v = self.isend(vc, to, tag, payload);
+        self.wait(v);
+    }
+
+    /// `MPI_Irecv`.
+    pub fn irecv(&mut self, vc: VComm, src: impl Into<SrcSel>, tag: impl Into<TagSel>) -> VReq {
+        self.service_control();
+        self.counters.p2p_recvs += 1;
+        let src = src.into();
+        let tag = tag.into();
+        let comm = self.vcomms.resolve(vc).0.clone();
+        let req = self.ctx.irecv(&comm, src, tag);
+        self.vreqs.insert(
+            req,
+            VReqKind::Recv {
+                vcomm: vc,
+                src,
+                tag,
+            },
+        )
+    }
+
+    /// `MPI_Recv`.
+    pub fn recv(
+        &mut self,
+        vc: VComm,
+        src: impl Into<SrcSel>,
+        tag: impl Into<TagSel>,
+    ) -> (Bytes, Status) {
+        let v = self.irecv(vc, src, tag);
+        let c = self.wait(v);
+        (c.data, c.status.expect("recv completion carries status"))
+    }
+
+    /// `MPI_Sendrecv`.
+    pub fn sendrecv(
+        &mut self,
+        vc: VComm,
+        to: usize,
+        send_tag: u32,
+        payload: impl Into<Bytes>,
+        from: impl Into<SrcSel>,
+        recv_tag: impl Into<TagSel>,
+    ) -> (Bytes, Status) {
+        let s = self.isend(vc, to, send_tag, payload);
+        let r = self.irecv(vc, from, recv_tag);
+        self.wait(s);
+        let c = self.wait(r);
+        (c.data, c.status.expect("recv status"))
+    }
+
+    // ------------------------------------------------------------------
+    // Completion
+    // ------------------------------------------------------------------
+
+    /// `MPI_Wait`: blocks (cooperatively with the checkpoint engine) until
+    /// the request completes.
+    pub fn wait(&mut self, v: VReq) -> Completion {
+        self.counters.completions += 1;
+        loop {
+            match self.vreqs.take(v) {
+                None => return Completion::empty(),
+                Some(VReqState::Ready(c)) => return c,
+                Some(VReqState::Active(mut req, kind)) => {
+                    if let Some(c) = self.ctx.try_complete(&mut req) {
+                        return c;
+                    }
+                    let is_recv = matches!(kind, VReqKind::Recv { .. });
+                    self.vreqs.put_back(v, VReqState::Active(req, kind));
+                    self.service_control();
+                    let sh = Arc::clone(&self.sh);
+                    if sh.control.is_pending() && sh.control.phase() == CkptPhase::Quiescing {
+                        self.quiesce(if is_recv {
+                            RankState::RecvParked
+                        } else {
+                            RankState::Quiesced
+                        });
+                        continue;
+                    }
+                    self.ctx.park_briefly();
+                }
+            }
+        }
+    }
+
+    /// `MPI_Test`: non-blocking completion check (charges one poll), also
+    /// cooperating with a quiesce in progress.
+    pub fn test(&mut self, v: VReq) -> Option<Completion> {
+        self.counters.completions += 1;
+        self.service_control();
+        let sh = Arc::clone(&self.sh);
+        if sh.control.is_pending() && sh.control.phase() == CkptPhase::Quiescing {
+            self.quiesce(RankState::Quiesced);
+        }
+        match self.vreqs.take(v) {
+            None => Some(Completion::empty()),
+            Some(VReqState::Ready(c)) => Some(c),
+            Some(VReqState::Active(mut req, kind)) => match self.ctx.test(&mut req) {
+                Some(c) => Some(c),
+                None => {
+                    self.vreqs.put_back(v, VReqState::Active(req, kind));
+                    None
+                }
+            },
+        }
+    }
+
+    /// `MPI_Waitall`.
+    pub fn waitall(&mut self, vs: &[VReq]) -> Vec<Completion> {
+        vs.iter().map(|&v| self.wait(v)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator management (collective on the parent — counted)
+    // ------------------------------------------------------------------
+
+    /// `MPI_Comm_split`.
+    pub fn comm_split(&mut self, vc: VComm, color: i64, key: i64) -> Option<VComm> {
+        self.counters.comm_mgmt += 1;
+        let (comm, _g, _s) = self.coll_gate(vc);
+        let sh = Arc::clone(&self.sh);
+        sh.control.ranks[self.rank]
+            .in_collective
+            .store(true, SeqCst);
+        let sub = self.ctx.comm_split(&comm, color, key);
+        sh.control.ranks[self.rank]
+            .in_collective
+            .store(false, SeqCst);
+        let lower = sub.map(|c| {
+            let g = ggid_of(c.group());
+            sh.control.ranks[self.rank]
+                .seq_mirror
+                .lock()
+                .register_group(g, c.group().sorted_members());
+            (c, g)
+        });
+        self.vcomms.record_creation(
+            CommOp::Split {
+                parent: vc,
+                color,
+                key,
+            },
+            lower,
+        )
+    }
+
+    /// `MPI_Comm_dup`.
+    pub fn comm_dup(&mut self, vc: VComm) -> VComm {
+        self.counters.comm_mgmt += 1;
+        let (comm, _g, _s) = self.coll_gate(vc);
+        let sh = Arc::clone(&self.sh);
+        sh.control.ranks[self.rank]
+            .in_collective
+            .store(true, SeqCst);
+        let dup = self.ctx.comm_dup(&comm);
+        sh.control.ranks[self.rank]
+            .in_collective
+            .store(false, SeqCst);
+        let g = ggid_of(dup.group());
+        sh.control.ranks[self.rank]
+            .seq_mirror
+            .lock()
+            .register_group(g, dup.group().sorted_members());
+        self.vcomms
+            .record_creation(CommOp::Dup { parent: vc }, Some((dup, g)))
+            .expect("dup always yields a communicator")
+    }
+
+    /// `MPI_Comm_create` with `members` as world ranks in group order.
+    pub fn comm_create(&mut self, vc: VComm, members: Vec<usize>) -> Option<VComm> {
+        self.counters.comm_mgmt += 1;
+        let (comm, _g, _s) = self.coll_gate(vc);
+        let group = Group::new(members.clone());
+        let sh = Arc::clone(&self.sh);
+        sh.control.ranks[self.rank]
+            .in_collective
+            .store(true, SeqCst);
+        let sub = self.ctx.comm_create(&comm, &group);
+        sh.control.ranks[self.rank]
+            .in_collective
+            .store(false, SeqCst);
+        let lower = sub.map(|c| {
+            let g = ggid_of(c.group());
+            sh.control.ranks[self.rank]
+                .seq_mirror
+                .lock()
+                .register_group(g, c.group().sorted_members());
+            (c, g)
+        });
+        self.vcomms.record_creation(
+            CommOp::Create {
+                parent: vc,
+                members,
+            },
+            lower,
+        )
+    }
+}
+
+impl std::fmt::Debug for CcRank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CcRank")
+            .field("rank", &self.rank)
+            .field("clock", &self.ctx.clock())
+            .finish()
+    }
+}

@@ -1,0 +1,194 @@
+//! The checkpointable world runner: spawns one thread per rank (each with a
+//! [`CcRank`] wrapper) and supervises checkpoint triggers from the calling
+//! thread.
+
+use crate::coordinator::{Coordinator, ResumeMode};
+use crate::image::Checkpoint;
+use crate::rank::CcRank;
+use crate::session::Session;
+use mana_core::{DrainTrace, ExecEvent, Protocol, RankState};
+use mpisim::{RankReport, VTime, WorldConfig};
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One scheduled checkpoint: fires once every non-finished rank's published
+/// virtual clock has passed `at`.
+#[derive(Debug, Clone, Copy)]
+pub struct CkptTrigger {
+    /// Virtual-time threshold.
+    pub at: VTime,
+    /// Resume mode after capture.
+    pub mode: ResumeMode,
+}
+
+/// Options for [`run_ckpt_world`].
+#[derive(Debug, Clone)]
+pub struct CkptOptions {
+    /// Coordination protocol for the wrapper layer.
+    pub protocol: Protocol,
+    /// Checkpoints to run, in order.
+    pub triggers: Vec<CkptTrigger>,
+}
+
+impl Default for CkptOptions {
+    fn default() -> Self {
+        CkptOptions {
+            protocol: Protocol::Cc,
+            triggers: Vec::new(),
+        }
+    }
+}
+
+impl CkptOptions {
+    /// No checkpointing: the wrapper still interposes, so timing and data
+    /// are directly comparable with checkpointed runs.
+    pub fn native() -> Self {
+        CkptOptions {
+            protocol: Protocol::Cc,
+            triggers: Vec::new(),
+        }
+    }
+
+    /// One checkpoint at virtual time `at`.
+    pub fn one_checkpoint(at: VTime, mode: ResumeMode) -> Self {
+        CkptOptions {
+            protocol: Protocol::Cc,
+            triggers: vec![CkptTrigger { at, mode }],
+        }
+    }
+}
+
+/// Result of a checkpointed execution.
+#[derive(Debug)]
+pub struct CkptRunReport<R> {
+    /// Per-rank reports, indexed by rank.
+    pub ranks: Vec<RankReport<R>>,
+    /// Simulated makespan.
+    pub makespan: VTime,
+    /// Every captured checkpoint, in order.
+    pub checkpoints: Vec<Checkpoint>,
+    /// Drain-protocol trace.
+    pub trace: DrainTrace,
+    /// Full execution log (all collective participations).
+    pub events: Vec<ExecEvent>,
+}
+
+impl<R> CkptRunReport<R> {
+    /// Iterates over per-rank results.
+    pub fn results(&self) -> impl Iterator<Item = &R> {
+        self.ranks.iter().map(|r| &r.result)
+    }
+}
+
+/// Spawns one thread per rank running `f` under the checkpoint wrapper and
+/// drives `opts.triggers` from the calling thread.
+///
+/// A panicking rank is marked `Finished` so the coordinator's supervision
+/// loops terminate, and its panic is re-raised once every rank has
+/// returned. Peers blocked *on the dead rank itself* — inside a collective
+/// rendezvous it never enters, or a receive it will never satisfy — cannot
+/// be released (as in real MPI, where a dead rank aborts the job), so the
+/// re-raise only happens once the remaining ranks run to completion.
+pub fn run_ckpt_world<R, F>(cfg: WorldConfig, opts: CkptOptions, f: F) -> CkptRunReport<R>
+where
+    R: Send,
+    F: Fn(&mut CcRank) -> R + Send + Sync,
+{
+    assert!(
+        opts.protocol != Protocol::TwoPhase,
+        "the 2PC orchestrator is a roadmap item; use Protocol::Cc"
+    );
+    assert!(
+        opts.triggers.is_empty() || opts.protocol.supports_checkpoint(),
+        "protocol {} cannot checkpoint",
+        opts.protocol.name()
+    );
+    let sh = Session::new(cfg.clone(), opts.protocol);
+    let n = cfg.n_ranks;
+    let mut reports: Vec<Option<RankReport<R>>> = (0..n).map(|_| None).collect();
+    let mut checkpoints = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(n);
+        for rank in 0..n {
+            let sh = Arc::clone(&sh);
+            let f = &f;
+            let h = std::thread::Builder::new()
+                .name(format!("ccrank-{rank}"))
+                .stack_size(cfg.stack_size)
+                .spawn_scoped(s, move || {
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut cc = CcRank::new(Arc::clone(&sh), rank);
+                        let result = f(&mut cc);
+                        let final_clock = cc.clock();
+                        cc.finish();
+                        RankReport {
+                            rank,
+                            result,
+                            final_clock,
+                        }
+                    }));
+                    if out.is_err() {
+                        // Unblock the coordinator: a dead rank counts as
+                        // finished so supervision loops terminate.
+                        let ctl = &sh.control.ranks[rank];
+                        ctl.targets_met.store(true, SeqCst);
+                        ctl.set_state(RankState::Finished);
+                    }
+                    out
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(h);
+        }
+
+        // Trigger supervision runs on the calling thread.
+        let coord = Coordinator::new(Arc::clone(&sh));
+        for trig in &opts.triggers {
+            loop {
+                if all_finished(&sh) {
+                    break;
+                }
+                if min_unfinished_clock(&sh) >= trig.at {
+                    checkpoints.push(coord.checkpoint(trig.mode));
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(Ok(rep)) => reports[rank] = Some(rep),
+                Ok(Err(p)) | Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    let ranks: Vec<RankReport<R>> = reports.into_iter().map(|r| r.unwrap()).collect();
+    let makespan = VTime::max_of(ranks.iter().map(|r| r.final_clock));
+    CkptRunReport {
+        ranks,
+        makespan,
+        checkpoints,
+        trace: sh.trace.clone(),
+        events: sh.exec_log.events(),
+    }
+}
+
+fn all_finished(sh: &Session) -> bool {
+    sh.control
+        .ranks
+        .iter()
+        .all(|r| r.state() == RankState::Finished)
+}
+
+/// Minimum published virtual clock over non-finished ranks.
+fn min_unfinished_clock(sh: &Session) -> VTime {
+    let mut min: Option<u64> = None;
+    for r in &sh.control.ranks {
+        if r.state() == RankState::Finished {
+            continue;
+        }
+        let c = r.clock_ns.load(std::sync::atomic::Ordering::Relaxed);
+        min = Some(min.map_or(c, |m: u64| m.min(c)));
+    }
+    VTime::from_secs(min.unwrap_or(0) as f64 * 1e-9)
+}

@@ -1,0 +1,58 @@
+//! Shared state of one checkpointable execution: the control plane, the
+//! target-update bus, the observability logs, and the current lower-half
+//! generation.
+
+use crate::bus::UpdateBus;
+use mana_core::{CkptControl, DrainTrace, ExecutionLog, Protocol};
+use mpisim::{World, WorldConfig};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Everything the ranks and the coordinator share for one execution.
+pub struct Session {
+    /// The out-of-band control plane (rank states, mirrors, targets).
+    pub control: Arc<CkptControl>,
+    /// Target-update message bus (the drain's out-of-band p2p channel).
+    pub bus: UpdateBus,
+    /// Append-only log of collective participations (the safe-cut oracle's
+    /// input).
+    pub exec_log: ExecutionLog,
+    /// Drain-protocol event trace.
+    pub trace: DrainTrace,
+    /// The current lower-half generation. Replaced on restart.
+    pub world: Mutex<Arc<World>>,
+    /// Configuration used to build each lower-half generation.
+    pub cfg: WorldConfig,
+    /// The coordination protocol in force.
+    pub protocol: Protocol,
+}
+
+impl Session {
+    /// Builds the shared state and generation-0 world for `cfg`.
+    pub fn new(cfg: WorldConfig, protocol: Protocol) -> Arc<Session> {
+        let world = World::new(cfg.clone());
+        Arc::new(Session {
+            control: CkptControl::new(cfg.n_ranks),
+            bus: UpdateBus::new(cfg.n_ranks),
+            exec_log: ExecutionLog::new(),
+            trace: DrainTrace::new(),
+            world: Mutex::new(world),
+            cfg,
+            protocol,
+        })
+    }
+
+    /// The current lower-half world.
+    pub fn current_world(&self) -> Arc<World> {
+        Arc::clone(&self.world.lock())
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("n_ranks", &self.cfg.n_ranks)
+            .field("protocol", &self.protocol)
+            .finish()
+    }
+}

@@ -51,6 +51,10 @@ pub struct RuntimeCapture {
     /// coordinator to translate drained in-flight messages into
     /// restart-stable [`mpisim::SavedMsg`] form.
     pub vcomm_to_lower: HashMap<u64, CommId>,
+    /// Member world ranks of each live vcomm, **in group order**. Restart
+    /// replay rebuilds communicators directly from these (no creation
+    /// collective), so replay cannot hang on members that already finished.
+    pub vcomm_members: HashMap<u64, Vec<usize>>,
 }
 
 #[cfg(test)]
@@ -73,6 +77,7 @@ mod tests {
             pending_barrier: None,
             counters: CallCounters::default(),
             vcomm_to_lower: HashMap::new(),
+            vcomm_members: HashMap::new(),
         };
         let c2 = cap.clone();
         assert_eq!(c2.rank, 3);

@@ -38,10 +38,9 @@ impl SeqTable {
     /// Registers a group (on communicator creation). Idempotent; the
     /// sequence number starts at zero, per §4.2.1.
     pub fn register_group(&mut self, ggid: Ggid, members: Vec<usize>) {
-        self.entries.entry(ggid).or_insert(SeqEntry {
-            seq: 0,
-            members,
-        });
+        self.entries
+            .entry(ggid)
+            .or_insert(SeqEntry { seq: 0, members });
     }
 
     /// Increments `SEQ[ggid]` and returns the new value.
@@ -138,10 +137,7 @@ impl TargetTable {
     }
 
     /// Groups with unmet targets, for diagnostics: `(ggid, seq, target)`.
-    pub fn unmet<'a>(
-        &'a self,
-        seqs: &'a SeqTable,
-    ) -> impl Iterator<Item = (Ggid, u64, u64)> + 'a {
+    pub fn unmet<'a>(&'a self, seqs: &'a SeqTable) -> impl Iterator<Item = (Ggid, u64, u64)> + 'a {
         self.targets.iter().filter_map(move |(g, &t)| {
             let s = seqs.seq(*g);
             (s < t).then_some((*g, s, t))

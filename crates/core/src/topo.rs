@@ -181,10 +181,7 @@ mod tests {
     fn ev(rank: usize, g: u64, seq: u64, members: &[usize]) -> ExecEvent {
         ExecEvent {
             rank,
-            node: Node {
-                ggid: Ggid(g),
-                seq,
-            },
+            node: Node { ggid: Ggid(g), seq },
             members: members.to_vec(),
         }
     }
@@ -230,9 +227,18 @@ mod tests {
     #[test]
     fn toposort_figure2a() {
         // Figure 2a: N1 -> N2 (P2's edge), N2 -> N3 (P2), N1 -> N3 (P1).
-        let n1 = Node { ggid: Ggid(1), seq: 1 };
-        let n2 = Node { ggid: Ggid(2), seq: 1 };
-        let n3 = Node { ggid: Ggid(3), seq: 1 };
+        let n1 = Node {
+            ggid: Ggid(1),
+            seq: 1,
+        };
+        let n2 = Node {
+            ggid: Ggid(2),
+            seq: 1,
+        };
+        let n3 = Node {
+            ggid: Ggid(3),
+            seq: 1,
+        };
         let order = topological_sort(&[n1, n2, n3], &[(n1, n2), (n2, n3), (n1, n3)]).unwrap();
         let pos = |n: Node| order.iter().position(|&x| x == n).unwrap();
         assert!(pos(n1) < pos(n2));
@@ -241,8 +247,14 @@ mod tests {
 
     #[test]
     fn toposort_detects_cycle() {
-        let a = Node { ggid: Ggid(1), seq: 1 };
-        let b = Node { ggid: Ggid(2), seq: 1 };
+        let a = Node {
+            ggid: Ggid(1),
+            seq: 1,
+        };
+        let b = Node {
+            ggid: Ggid(2),
+            seq: 1,
+        };
         assert!(topological_sort(&[a, b], &[(a, b), (b, a)]).is_none());
     }
 

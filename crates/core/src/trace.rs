@@ -88,10 +88,7 @@ mod tests {
         t.push(DrainEvent::TargetRaised(3, Ggid(7), 5));
         t.push(DrainEvent::Parked(1));
         assert_eq!(t.len(), 3);
-        assert_eq!(
-            t.count(|e| matches!(e, DrainEvent::TargetRaised(..))),
-            1
-        );
+        assert_eq!(t.count(|e| matches!(e, DrainEvent::TargetRaised(..))), 1);
         let evs = t.events();
         assert_eq!(evs[0], DrainEvent::Requested);
     }

@@ -96,10 +96,7 @@ impl VCommTable {
             self.map.insert(vid, (comm, ggid));
             vid
         });
-        self.log.push(CommOpRecord {
-            op,
-            result,
-        });
+        self.log.push(CommOpRecord { op, result });
         result
     }
 
@@ -144,9 +141,15 @@ impl VCommTable {
     /// Snapshot of the vcomm → lower-half `CommId` mapping (for the
     /// coordinator's in-flight message translation).
     pub fn lower_map(&self) -> HashMap<u64, mpisim::types::CommId> {
+        self.map.iter().map(|(v, (c, _))| (v.0, c.id())).collect()
+    }
+
+    /// Snapshot of each live vcomm's member world ranks **in group order**
+    /// (for the checkpoint image's direct communicator rebuild at restart).
+    pub fn members_map(&self) -> HashMap<u64, Vec<usize>> {
         self.map
             .iter()
-            .map(|(v, (c, _))| (v.0, c.id()))
+            .map(|(v, (c, _))| (v.0, c.group().members().to_vec()))
             .collect()
     }
 
@@ -236,6 +239,17 @@ impl VReqTable {
             .collect()
     }
 
+    /// Ids of all active receive requests, matched or not (the quiesce
+    /// step reverts matched-but-uncompleted receives so their messages are
+    /// drained with the mailbox).
+    pub fn active_recv_ids(&self) -> Vec<VReq> {
+        self.map
+            .iter()
+            .filter(|(_, s)| matches!(s, VReqState::Active(_, VReqKind::Recv { .. })))
+            .map(|(&id, _)| VReq(id))
+            .collect()
+    }
+
     /// Descriptors of all pending (unmatched) receives, for the image:
     /// `(vreq, vcomm, src, tag)`.
     pub fn pending_recvs(&self) -> Vec<(VReq, VComm, SrcSel, TagSel)> {
@@ -320,14 +334,12 @@ mod tests {
     #[test]
     fn restore_log_sets_next_id() {
         let mut t = VCommTable::new();
-        t.restore_log(vec![
-            CommOpRecord {
-                op: CommOp::Dup {
-                    parent: VCOMM_WORLD,
-                },
-                result: Some(VComm(5)),
+        t.restore_log(vec![CommOpRecord {
+            op: CommOp::Dup {
+                parent: VCOMM_WORLD,
             },
-        ]);
+            result: Some(VComm(5)),
+        }]);
         assert_eq!(t.log().len(), 1);
         // Next allocation must not collide with restored id 5.
         let world = mpisim::World::new(mpisim::WorldConfig::single_node(1));
@@ -361,12 +373,7 @@ mod tests {
     #[test]
     fn worklists() {
         let mut t = VReqTable::new();
-        t.insert(
-            Request::null(),
-            VReqKind::Coll {
-                vcomm: VCOMM_WORLD,
-            },
-        );
+        t.insert(Request::null(), VReqKind::Coll { vcomm: VCOMM_WORLD });
         let colls = t.active_collectives();
         assert_eq!(colls.len(), 1);
         // Null recv requests are not "pending".

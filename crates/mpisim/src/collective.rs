@@ -77,6 +77,7 @@ pub struct CollResult {
 }
 
 impl CollInstance {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         key: (CommId, u64),
         op: CollOp,
@@ -169,11 +170,7 @@ impl CollInstance {
 
     /// This rank's exit (completion) time, if the instance is complete.
     pub fn exit_of(&self, group_rank: usize) -> Option<VTime> {
-        self.state
-            .lock()
-            .done
-            .as_ref()
-            .map(|d| d.exits[group_rank])
+        self.state.lock().done.as_ref().map(|d| d.exits[group_rank])
     }
 
     /// Blocks (wall-clock) until completion, then collects this rank's
@@ -189,9 +186,7 @@ impl CollInstance {
     /// Non-blocking collection: returns the result if complete.
     pub fn try_take(&self, group_rank: usize) -> Option<CollResult> {
         let mut st = self.state.lock();
-        if st.done.is_none() {
-            return None;
-        }
+        st.done.as_ref()?;
         Some(Self::take_locked(&mut st, group_rank, self.size()))
     }
 
@@ -453,10 +448,7 @@ mod tests {
             op: ReduceOp::Sum,
         };
         let i = inst(CollOp::Allreduce, 4, 0, Some(spec));
-        let outs = run_all(
-            &i,
-            (0..4).map(|r| encode_f64(&[r as f64, 1.0])).collect(),
-        );
+        let outs = run_all(&i, (0..4).map(|r| encode_f64(&[r as f64, 1.0])).collect());
         for o in outs {
             assert_eq!(decode_f64(&o), vec![6.0, 4.0]);
         }
@@ -531,10 +523,7 @@ mod tests {
             op: ReduceOp::Sum,
         };
         let i = inst(CollOp::ReduceScatter, 2, 0, Some(spec));
-        let outs = run_all(
-            &i,
-            vec![encode_f64(&[1.0, 2.0]), encode_f64(&[10.0, 20.0])],
-        );
+        let outs = run_all(&i, vec![encode_f64(&[1.0, 2.0]), encode_f64(&[10.0, 20.0])]);
         assert_eq!(decode_f64(&outs[0]), vec![11.0]);
         assert_eq!(decode_f64(&outs[1]), vec![22.0]);
     }
@@ -542,9 +531,23 @@ mod tests {
     #[test]
     fn exits_reflect_entries() {
         let i = inst(CollOp::Barrier, 2, 0, None);
-        i.enter(0, VTime::from_micros(5.0), Bytes::new(), CollOp::Barrier, 0, None);
+        i.enter(
+            0,
+            VTime::from_micros(5.0),
+            Bytes::new(),
+            CollOp::Barrier,
+            0,
+            None,
+        );
         assert!(!i.is_complete());
-        i.enter(1, VTime::from_micros(9.0), Bytes::new(), CollOp::Barrier, 0, None);
+        i.enter(
+            1,
+            VTime::from_micros(9.0),
+            Bytes::new(),
+            CollOp::Barrier,
+            0,
+            None,
+        );
         assert!(i.is_complete());
         // Ideal network: exits == max(entries).
         assert_eq!(i.exit_of(0).unwrap(), VTime::from_micros(9.0));

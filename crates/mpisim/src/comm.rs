@@ -91,6 +91,21 @@ impl Comm {
     }
 }
 
+/// The `SplitKey::color` disambiguator for `MPI_Comm_create`: a hash of
+/// the target group's member world ranks (order-insensitive). Shared by
+/// live creation (`Ctx::comm_create`) and checkpoint-restart replay so
+/// both derive the same registry key; `|1` keeps it clear of `comm_dup`'s
+/// reserved `i64::MIN`.
+pub fn create_color(members: &[usize]) -> i64 {
+    let mut sorted = members.to_vec();
+    sorted.sort_unstable();
+    let mut h: i64 = 0x9E37;
+    for w in sorted {
+        h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(w as i64);
+    }
+    h | 1
+}
+
 /// Key identifying one communicator-creation collective, so that all
 /// participating ranks agree on the new `CommId` without extra messaging:
 /// the first rank to reach the registry allocates, the rest look it up.

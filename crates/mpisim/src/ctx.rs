@@ -210,11 +210,6 @@ impl Ctx {
         self.check_epoch(parent);
         let seq = self.bump_comm_seq(parent.id());
         let _ = self.run_collective(parent, seq, CollOp::Allgather, 0, Bytes::new(), None);
-        // Disambiguate by group content.
-        let mut h: i64 = 0x9E37;
-        for w in group.sorted_members() {
-            h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(w as i64);
-        }
         if !group.contains_world(self.world_rank) {
             return None;
         }
@@ -222,7 +217,7 @@ impl Ctx {
             SplitKey {
                 parent: parent.id(),
                 seq,
-                color: h | 1, // never collides with dup's i64::MIN
+                color: crate::comm::create_color(group.members()),
             },
             group.clone(),
         );
@@ -461,6 +456,67 @@ impl Ctx {
         }
     }
 
+    /// **Checkpoint-engine hook.** Attempts to complete `req` like
+    /// [`Ctx::wait`] would, but returns `None` instead of blocking when the
+    /// operation cannot complete yet. Unlike [`Ctx::test`] it charges no
+    /// poll overhead and (like `wait`) advances the clock to the
+    /// operation's completion time, so a polling loop built on it produces
+    /// the same virtual-time trajectory as a blocking wait — the property
+    /// the checkpoint layer needs to interleave drain servicing with
+    /// request completion without perturbing timing.
+    pub fn try_complete(&mut self, req: &mut Request) -> Option<Completion> {
+        match &mut req.kind {
+            None => Some(Completion::empty()),
+            Some(ReqKind::Send { complete_at }) => {
+                let t = *complete_at;
+                req.kind = None;
+                self.clock.advance_to(t);
+                Some(Completion::empty())
+            }
+            Some(ReqKind::Recv {
+                comm,
+                src,
+                tag,
+                matched,
+            }) => {
+                if matched.is_none() {
+                    let spec = MatchSpec {
+                        comm: comm.id(),
+                        group: comm.group(),
+                        src: *src,
+                        tag: *tag,
+                    };
+                    *matched = self.world.mailbox(self.world_rank).take_match(&spec);
+                }
+                if matched.is_some() {
+                    let (comm, msg) = match req.kind.take() {
+                        Some(ReqKind::Recv {
+                            comm,
+                            matched: Some(m),
+                            ..
+                        }) => (comm, m),
+                        _ => unreachable!(),
+                    };
+                    Some(self.finish_recv(&comm, msg))
+                } else {
+                    None
+                }
+            }
+            Some(ReqKind::Coll { inst, group_rank }) => {
+                if inst.is_complete() {
+                    let res = inst.try_take(*group_rank).expect("checked complete");
+                    let (inst, _) = match req.kind.take() {
+                        Some(ReqKind::Coll { inst, group_rank }) => (inst, group_rank),
+                        _ => unreachable!(),
+                    };
+                    Some(self.finish_coll(&inst.key, res))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// `MPI_Waitall`.
     pub fn waitall(&mut self, reqs: &mut [Request]) -> Vec<Completion> {
         reqs.iter_mut().map(|r| self.wait(r)).collect()
@@ -578,12 +634,24 @@ impl Ctx {
         dtype: DType,
         op: ReduceOp,
     ) -> Bytes {
-        self.collective(comm, CollOp::Reduce, root, data, Some(RedSpec { dtype, op }))
+        self.collective(
+            comm,
+            CollOp::Reduce,
+            root,
+            data,
+            Some(RedSpec { dtype, op }),
+        )
     }
 
     /// `MPI_Allreduce`.
     pub fn allreduce(&mut self, comm: &Comm, data: Bytes, dtype: DType, op: ReduceOp) -> Bytes {
-        self.collective(comm, CollOp::Allreduce, 0, data, Some(RedSpec { dtype, op }))
+        self.collective(
+            comm,
+            CollOp::Allreduce,
+            0,
+            data,
+            Some(RedSpec { dtype, op }),
+        )
     }
 
     /// `MPI_Allreduce` on `f64` slices (convenience).
@@ -608,7 +676,7 @@ impl Ctx {
     /// Panics if `data` does not divide into `size()` equal blocks.
     pub fn alltoall(&mut self, comm: &Comm, data: Bytes) -> Bytes {
         assert!(
-            data.len() % comm.size() == 0,
+            data.len().is_multiple_of(comm.size()),
             "alltoall payload must be comm.size() equal blocks"
         );
         self.collective(comm, CollOp::Alltoall, 0, data, None)
@@ -618,7 +686,7 @@ impl Ctx {
     pub fn scatter(&mut self, comm: &Comm, root: usize, data: Bytes) -> Bytes {
         if comm.rank() == root {
             assert!(
-                data.len() % comm.size() == 0,
+                data.len().is_multiple_of(comm.size()),
                 "scatter payload must be comm.size() equal blocks"
             );
         }
@@ -639,7 +707,7 @@ impl Ctx {
         op: ReduceOp,
     ) -> Bytes {
         assert!(
-            data.len() % comm.size() == 0,
+            data.len().is_multiple_of(comm.size()),
             "reduce_scatter payload must be comm.size() equal blocks"
         );
         self.collective(
@@ -697,13 +765,19 @@ impl Ctx {
 
     /// `MPI_Iallreduce`.
     pub fn iallreduce(&mut self, comm: &Comm, data: Bytes, dtype: DType, op: ReduceOp) -> Request {
-        self.icollective(comm, CollOp::Allreduce, 0, data, Some(RedSpec { dtype, op }))
+        self.icollective(
+            comm,
+            CollOp::Allreduce,
+            0,
+            data,
+            Some(RedSpec { dtype, op }),
+        )
     }
 
     /// `MPI_Ialltoall`.
     pub fn ialltoall(&mut self, comm: &Comm, data: Bytes) -> Request {
         assert!(
-            data.len() % comm.size() == 0,
+            data.len().is_multiple_of(comm.size()),
             "ialltoall payload must be comm.size() equal blocks"
         );
         self.icollective(comm, CollOp::Alltoall, 0, data, None)
@@ -790,14 +864,7 @@ mod tests {
             let w = ctx.comm_world();
             let me = ctx.rank();
             let peer = 1 - me;
-            let (data, _) = ctx.sendrecv(
-                &w,
-                peer,
-                1,
-                Bytes::from(vec![me as u8]),
-                peer,
-                1,
-            );
+            let (data, _) = ctx.sendrecv(&w, peer, 1, Bytes::from(vec![me as u8]), peer, 1);
             assert_eq!(data[0], peer as u8);
         });
     }
@@ -857,12 +924,7 @@ mod tests {
     fn nonblocking_collective_overlap() {
         let rep = run_world(cfg(4), |ctx| {
             let w = ctx.comm_world();
-            let mut req = ctx.iallreduce(
-                &w,
-                encode_f64(&[1.0]),
-                DType::F64,
-                ReduceOp::Sum,
-            );
+            let mut req = ctx.iallreduce(&w, encode_f64(&[1.0]), DType::F64, ReduceOp::Sum);
             // Overlapped computation.
             ctx.compute(100e-6);
             let c = ctx.wait(&mut req);
@@ -889,7 +951,7 @@ mod tests {
                     break;
                 }
                 polls += 1;
-                if polls % 64 == 0 {
+                if polls.is_multiple_of(64) {
                     ctx.park_briefly();
                 }
             }
@@ -909,7 +971,11 @@ mod tests {
             assert_eq!(sub.rank(), me / 2);
             // Sum within my parity class.
             let s = ctx.allreduce_f64(&sub, &[me as f64], ReduceOp::Sum);
-            let expect = if me % 2 == 0 { 0.0 + 2.0 + 4.0 } else { 1.0 + 3.0 + 5.0 };
+            let expect = if me % 2 == 0 {
+                0.0 + 2.0 + 4.0
+            } else {
+                1.0 + 3.0 + 5.0
+            };
             assert_eq!(s, vec![expect]);
         });
     }

@@ -37,7 +37,7 @@ impl DType {
     /// mismatch error).
     pub fn count(self, len: usize) -> usize {
         assert!(
-            len % self.size() == 0,
+            len.is_multiple_of(self.size()),
             "payload of {len} bytes is not a whole number of {self:?} elements"
         );
         len / self.size()
@@ -55,7 +55,7 @@ pub fn encode_f64(v: &[f64]) -> Bytes {
 
 /// Decodes a little-endian byte payload into `f64`s.
 pub fn decode_f64(b: &[u8]) -> Vec<f64> {
-    assert!(b.len() % 8 == 0, "not an f64 payload");
+    assert!(b.len().is_multiple_of(8), "not an f64 payload");
     b.chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
         .collect()
@@ -72,7 +72,7 @@ pub fn encode_i64(v: &[i64]) -> Bytes {
 
 /// Decodes a little-endian byte payload into `i64`s.
 pub fn decode_i64(b: &[u8]) -> Vec<i64> {
-    assert!(b.len() % 8 == 0, "not an i64 payload");
+    assert!(b.len().is_multiple_of(8), "not an i64 payload");
     b.chunks_exact(8)
         .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
         .collect()
@@ -89,7 +89,7 @@ pub fn encode_u64(v: &[u64]) -> Bytes {
 
 /// Decodes a little-endian byte payload into `u64`s.
 pub fn decode_u64(b: &[u8]) -> Vec<u64> {
-    assert!(b.len() % 8 == 0, "not a u64 payload");
+    assert!(b.len().is_multiple_of(8), "not a u64 payload");
     b.chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
         .collect()

@@ -27,15 +27,15 @@ impl ReduceOp {
         assert_eq!(acc.len(), rhs.len(), "reduction payload length mismatch");
         let n = dtype.count(acc.len());
         match dtype {
-            DType::F64 => self.combine_prim::<f64, 8>(acc, rhs, n, f64::from_le_bytes, |x| {
-                x.to_le_bytes()
-            }),
-            DType::I64 => self.combine_prim::<i64, 8>(acc, rhs, n, i64::from_le_bytes, |x| {
-                x.to_le_bytes()
-            }),
-            DType::U64 => self.combine_prim::<u64, 8>(acc, rhs, n, u64::from_le_bytes, |x| {
-                x.to_le_bytes()
-            }),
+            DType::F64 => {
+                self.combine_prim::<f64, 8>(acc, rhs, n, f64::from_le_bytes, |x| x.to_le_bytes())
+            }
+            DType::I64 => {
+                self.combine_prim::<i64, 8>(acc, rhs, n, i64::from_le_bytes, |x| x.to_le_bytes())
+            }
+            DType::U64 => {
+                self.combine_prim::<u64, 8>(acc, rhs, n, u64::from_le_bytes, |x| x.to_le_bytes())
+            }
             DType::U8 => {
                 for i in 0..n {
                     acc[i] = match self {

@@ -117,6 +117,19 @@ impl Request {
         }
     }
 
+    /// **Checkpoint hook.** Pulls out a message this receive request has
+    /// already matched (taken from the mailbox) but not yet completed,
+    /// reverting the request to its unmatched state. The checkpoint engine
+    /// re-deposits the message so the image's in-flight drain sees it;
+    /// without this, a matched-but-unarrived message would be lost.
+    /// Returns `None` for non-receive or unmatched requests.
+    pub fn unmatch(&mut self) -> Option<InFlightMsg> {
+        match &mut self.kind {
+            Some(ReqKind::Recv { matched, .. }) => matched.take(),
+            _ => None,
+        }
+    }
+
     /// Whether this request is a non-blocking collective.
     pub fn is_collective(&self) -> bool {
         matches!(self.kind, Some(ReqKind::Coll { .. }))

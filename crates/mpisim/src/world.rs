@@ -150,9 +150,9 @@ impl World {
     /// that all participants of the creating collective agree on the id.
     pub(crate) fn comm_for_split(&self, key: SplitKey, group: Group) -> Arc<CommInner> {
         let mut reg = self.split_registry.lock();
-        let id = *reg.entry(key).or_insert_with(|| {
-            CommId(self.next_comm.fetch_add(1, Ordering::Relaxed))
-        });
+        let id = *reg
+            .entry(key)
+            .or_insert_with(|| CommId(self.next_comm.fetch_add(1, Ordering::Relaxed)));
         drop(reg);
         let mut comms = self.comms.write();
         let inner = comms.entry(id).or_insert_with(|| {
@@ -163,6 +163,15 @@ impl World {
             })
         });
         Arc::clone(inner)
+    }
+
+    /// **Restart hook.** Rebuilds a communicator directly from its saved
+    /// group, without running a creation collective. Member ranks replaying
+    /// a checkpointed communicator log call this with identical `key`s and
+    /// get the same registered communicator — no rendezvous is needed, so
+    /// replay also works when some original members have already finished.
+    pub fn restore_comm(&self, key: SplitKey, group: Group) -> Arc<CommInner> {
+        self.comm_for_split(key, group)
     }
 
     /// Frees a communicator handle (`MPI_Comm_free`). World itself cannot

@@ -197,9 +197,8 @@ pub fn exit_times(
 /// receives each round, so nobody proceeds past round `k` until everyone
 /// finished round `k-1`. Cost ≈ max(entries) + rounds · (overhead + α).
 fn barrier_model(entries: &[VTime], ctx: &CollCtx<'_>) -> Vec<VTime> {
-    let t = VTime::max_of(entries.iter().copied()).plus_secs(
-        ctx.rounds() as f64 * (ctx.params.send_overhead + ctx.alpha_blend()),
-    );
+    let t = VTime::max_of(entries.iter().copied())
+        .plus_secs(ctx.rounds() as f64 * (ctx.params.send_overhead + ctx.alpha_blend()));
     vec![t; entries.len()]
 }
 
@@ -237,8 +236,7 @@ fn alltoall_cost(bytes: usize, ctx: &CollCtx<'_>) -> f64 {
                 + (p / 2.0) * (pack + bytes as f64 * ctx.beta_blend() * 0.5))
     } else {
         // Pairwise: p−1 exchanges of one block each.
-        (p - 1.0)
-            * (ctx.params.send_overhead + ctx.alpha_blend() + bytes as f64 * ctx.beta_blend())
+        (p - 1.0) * (ctx.params.send_overhead + ctx.alpha_blend() + bytes as f64 * ctx.beta_blend())
     }
 }
 
@@ -311,11 +309,15 @@ fn tree_distribute(
             sends_done[v] += 1;
             let arrival = send_start.plus_secs(
                 ctx.params.send_overhead
-                    + ctx.params.alpha(ctx.topo, ctx.world_ranks[parent], ctx.world_ranks[child])
+                    + ctx
+                        .params
+                        .alpha(ctx.topo, ctx.world_ranks[parent], ctx.world_ranks[child])
                     + bytes as f64
-                        * ctx
-                            .params
-                            .beta(ctx.topo, ctx.world_ranks[parent], ctx.world_ranks[child]),
+                        * ctx.params.beta(
+                            ctx.topo,
+                            ctx.world_ranks[parent],
+                            ctx.world_ranks[child],
+                        ),
             );
             ready[child_v] = arrival.max(entries[child]);
         }
@@ -359,11 +361,15 @@ fn tree_collect(
             let send_start = ready[child_v];
             let arrival = send_start.plus_secs(
                 ctx.params.send_overhead
-                    + ctx.params.alpha(ctx.topo, ctx.world_ranks[child], ctx.world_ranks[parent])
+                    + ctx
+                        .params
+                        .alpha(ctx.topo, ctx.world_ranks[child], ctx.world_ranks[parent])
                     + bytes as f64
-                        * ctx
-                            .params
-                            .beta(ctx.topo, ctx.world_ranks[child], ctx.world_ranks[parent]),
+                        * ctx.params.beta(
+                            ctx.topo,
+                            ctx.world_ranks[child],
+                            ctx.world_ranks[parent],
+                        ),
             );
             let merge = if reducing {
                 bytes as f64 * ctx.params.gamma_reduce
@@ -382,11 +388,7 @@ fn tree_collect(
 mod tests {
     use super::*;
 
-    fn ctx<'a>(
-        params: &'a NetParams,
-        topo: &'a Topology,
-        ranks: &'a [usize],
-    ) -> CollCtx<'a> {
+    fn ctx<'a>(params: &'a NetParams, topo: &'a Topology, ranks: &'a [usize]) -> CollCtx<'a> {
         CollCtx {
             params,
             topo,
@@ -457,9 +459,19 @@ mod tests {
         let ranks = world(8);
         let mut entries = vec![VTime::from_micros(1.0); 8];
         entries[0] = VTime::from_micros(2000.0); // root late
-        let exits = exit_times(CollOp::Reduce, 0, 64, &entries, &ctx(&params, &topo, &ranks));
+        let exits = exit_times(
+            CollOp::Reduce,
+            0,
+            64,
+            &entries,
+            &ctx(&params, &topo, &ranks),
+        );
         // Leaves sent long ago; they exit near their own entries.
-        assert!(exits[7] < VTime::from_micros(100.0), "leaf held: {}", exits[7]);
+        assert!(
+            exits[7] < VTime::from_micros(100.0),
+            "leaf held: {}",
+            exits[7]
+        );
         assert!(exits[0] >= entries[0]);
     }
 
@@ -502,8 +514,8 @@ mod tests {
             let c = ctx(&params, &topo, &ranks);
             let small = exit_times(op, 0, 8, &entries, &c);
             let big = exit_times(op, 0, 1 << 20, &entries, &c);
-            let ms = VTime::max_of(small.into_iter());
-            let mb = VTime::max_of(big.into_iter());
+            let ms = VTime::max_of(small);
+            let mb = VTime::max_of(big);
             assert!(mb >= ms, "{op:?}: 1MB ({mb}) cheaper than 8B ({ms})");
         }
     }
@@ -531,8 +543,17 @@ mod tests {
         let topo = Topology::single_node(16);
         let ranks = world(16);
         let entries = vec![VTime::ZERO; 16];
-        let exits = exit_times(CollOp::Bcast, 5, 1024, &entries, &ctx(&params, &topo, &ranks));
-        let min = exits.iter().copied().fold(VTime::from_secs(1e9), VTime::min);
+        let exits = exit_times(
+            CollOp::Bcast,
+            5,
+            1024,
+            &entries,
+            &ctx(&params, &topo, &ranks),
+        );
+        let min = exits
+            .iter()
+            .copied()
+            .fold(VTime::from_secs(1e9), VTime::min);
         assert_eq!(exits[5], min, "root should have the earliest exit");
     }
 
@@ -547,14 +568,24 @@ mod tests {
             0,
             0,
             &entries,
-            &CollCtx { params: &params, topo: &topo, world_ranks: &ranks, instance: 1 },
+            &CollCtx {
+                params: &params,
+                topo: &topo,
+                world_ranks: &ranks,
+                instance: 1,
+            },
         );
         let b = exit_times(
             CollOp::Barrier,
             0,
             0,
             &entries,
-            &CollCtx { params: &params, topo: &topo, world_ranks: &ranks, instance: 2 },
+            &CollCtx {
+                params: &params,
+                topo: &topo,
+                world_ranks: &ranks,
+                instance: 2,
+            },
         );
         assert_ne!(a, b, "different instances must see different jitter");
         let nj = params.clone().without_jitter();
@@ -563,14 +594,24 @@ mod tests {
             0,
             0,
             &entries,
-            &CollCtx { params: &nj, topo: &topo, world_ranks: &ranks, instance: 1 },
+            &CollCtx {
+                params: &nj,
+                topo: &topo,
+                world_ranks: &ranks,
+                instance: 1,
+            },
         );
         let d = exit_times(
             CollOp::Barrier,
             0,
             0,
             &entries,
-            &CollCtx { params: &nj, topo: &topo, world_ranks: &ranks, instance: 2 },
+            &CollCtx {
+                params: &nj,
+                topo: &topo,
+                world_ranks: &ranks,
+                instance: 2,
+            },
         );
         assert_eq!(c, d, "no jitter → identical instances");
     }

@@ -70,7 +70,7 @@ impl NetParams {
                 jitter_sigma: 0.8e-6,
                 wrapper_overhead: 45e-9,
                 poll_overhead: 60e-9,
-                jitter_seed: 0x5117_6_5107,
+                jitter_seed: 0x0005_1176_5107,
             },
             NetPreset::InfiniBand => NetParams {
                 alpha_intra: 0.4e-6,

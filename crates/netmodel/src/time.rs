@@ -81,9 +81,7 @@ impl VTime {
 
     /// Maximum over an iterator of times; `VTime::ZERO` if empty.
     pub fn max_of(times: impl IntoIterator<Item = VTime>) -> VTime {
-        times
-            .into_iter()
-            .fold(VTime::ZERO, |acc, t| acc.max(t))
+        times.into_iter().fold(VTime::ZERO, |acc, t| acc.max(t))
     }
 }
 

@@ -1,0 +1,93 @@
+//! The quickstart demonstration: run a multi-rank random workload twice —
+//! once straight through, once checkpointing mid-flight with a full
+//! restart into a fresh lower half — and check the continuation is
+//! bit-identical. Shared by `examples/quickstart.rs` and the test suite so
+//! CI exercises exactly what the example shows.
+
+use crate::random::{random_workload, RandomWorkloadCfg};
+use ckpt::{run_ckpt_world, Checkpoint, CkptOptions, ResumeMode};
+use mpisim::{NetParams, VTime, WorldConfig};
+
+/// Everything the quickstart run produced.
+#[derive(Debug)]
+pub struct QuickstartOutcome {
+    /// Per-rank results of the uninterrupted run.
+    pub native_results: Vec<f64>,
+    /// Per-rank results of the checkpoint-restart run.
+    pub ckpt_results: Vec<f64>,
+    /// The captured checkpoint.
+    pub checkpoint: Checkpoint,
+    /// Makespans of both runs.
+    pub native_makespan: VTime,
+    /// See `native_makespan`.
+    pub ckpt_makespan: VTime,
+}
+
+impl QuickstartOutcome {
+    /// Whether the restarted run continued bit-identically.
+    pub fn bit_identical(&self) -> bool {
+        self.native_results == self.ckpt_results
+    }
+}
+
+/// Runs the demonstration: `n_ranks` ranks, a seeded random workload,
+/// one checkpoint+restart at roughly half the native makespan.
+///
+/// # Panics
+/// Panics if the checkpoint never fires or its cut fails the safe-cut
+/// oracle — the demo *is* the assertion.
+pub fn quickstart(n_ranks: usize, seed: u64, steps: usize) -> QuickstartOutcome {
+    let cfg =
+        WorldConfig::single_node(n_ranks).with_params(NetParams::slingshot11().without_jitter());
+    let wl = RandomWorkloadCfg::new(seed, steps).with_pace_us(30);
+
+    let native = run_ckpt_world(cfg.clone(), CkptOptions::native(), |r| {
+        random_workload(&wl, r)
+    });
+    let trigger = VTime::from_secs(native.makespan.as_secs() * 0.5);
+
+    let ckpt_run = run_ckpt_world(
+        cfg,
+        CkptOptions::one_checkpoint(trigger, ResumeMode::Restart),
+        |r| random_workload(&wl, r),
+    );
+    assert_eq!(
+        ckpt_run.checkpoints.len(),
+        1,
+        "checkpoint did not fire before the workload ended"
+    );
+    let checkpoint = ckpt_run.checkpoints.into_iter().next().unwrap();
+    checkpoint
+        .verify()
+        .expect("captured cut must satisfy the safe-cut oracle");
+    assert!(
+        checkpoint.targets_exactly_reached(),
+        "drain must stop exactly at its targets"
+    );
+
+    QuickstartOutcome {
+        native_results: native.ranks.iter().map(|r| r.result).collect(),
+        ckpt_results: ckpt_run.ranks.iter().map(|r| r.result).collect(),
+        checkpoint,
+        native_makespan: native.makespan,
+        ckpt_makespan: ckpt_run.makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_roundtrip_is_bit_identical() {
+        let out = quickstart(4, 2024, 30);
+        assert!(
+            out.bit_identical(),
+            "restart diverged: {:?} vs {:?}",
+            out.native_results,
+            out.ckpt_results
+        );
+        assert_eq!(out.checkpoint.epoch, 0);
+        assert_eq!(out.checkpoint.n_ranks, 4);
+    }
+}

@@ -1,1 +1,20 @@
-//! placeholder
+//! # workloads — synthetic MPI programs for checkpoint testing
+//!
+//! * [`rng`] — a seeded SplitMix64 generator (no external `rand`).
+//! * [`random`] — the randomized workload generator: all ranks derive one
+//!   schedule from a seed, mixing blocking/non-blocking collectives,
+//!   communicator splits/dups, ring and wildcard point-to-point traffic,
+//!   and skewed compute. Deterministic results make it the substrate of
+//!   the safe-cut and bit-identical-restart harnesses.
+//! * [`kernels`] — SCF-style and halo-exchange mini-kernels for examples.
+//! * [`demo`] — the quickstart checkpoint→restore→verify demonstration.
+
+pub mod demo;
+pub mod kernels;
+pub mod random;
+pub mod rng;
+
+pub use demo::{quickstart, QuickstartOutcome};
+pub use kernels::{halo_exchange, scf_loop};
+pub use random::{random_workload, RandomWorkloadCfg};
+pub use rng::SplitMix64;

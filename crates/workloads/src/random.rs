@@ -1,0 +1,214 @@
+//! The randomized workload generator: every rank derives the *same* op
+//! schedule from the seed (as a correct MPI program must — all members
+//! issue collectives on a communicator in the same order), mixing blocking
+//! and non-blocking collectives, communicator splits/dups, point-to-point
+//! traffic (including wildcard receives), and skewed local compute.
+//!
+//! The returned per-rank checksum folds every byte the rank received, so
+//! two runs of the same seed must produce bit-identical results — with or
+//! without checkpoints in between. That is the end-to-end property the
+//! safe-cut harness leans on.
+
+use crate::rng::SplitMix64;
+use bytes::Bytes;
+use ckpt::CcRank;
+use mana_core::VComm;
+use mpisim::dtype::{decode_f64, encode_f64};
+use mpisim::{DType, ReduceOp, SrcSel, TagSel};
+
+/// Configuration of a random workload.
+#[derive(Debug, Clone)]
+pub struct RandomWorkloadCfg {
+    /// Schedule seed (shared by all ranks).
+    pub seed: u64,
+    /// Number of schedule steps.
+    pub steps: usize,
+    /// Wall-clock microseconds slept per step (0 = none). Virtual time is
+    /// unaffected; harnesses use this so an asynchronous checkpoint
+    /// trigger reliably catches the run mid-flight instead of racing a
+    /// wall-fast completion.
+    pub pace_us: u64,
+}
+
+impl RandomWorkloadCfg {
+    /// A workload of `steps` steps from `seed`, unpaced.
+    pub fn new(seed: u64, steps: usize) -> Self {
+        RandomWorkloadCfg {
+            seed,
+            steps,
+            pace_us: 0,
+        }
+    }
+
+    /// Adds a per-step wall-clock pace.
+    pub fn with_pace_us(mut self, us: u64) -> Self {
+        self.pace_us = us;
+        self
+    }
+}
+
+/// Runs the workload on one rank; returns the rank's checksum.
+pub fn random_workload(cfg: &RandomWorkloadCfg, rank: &mut CcRank) -> f64 {
+    let n = rank.size();
+    let me = rank.rank();
+    let world = rank.world_vcomm();
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut acc: f64 = me as f64 + 1.0;
+    // Non-blocking collectives in flight (completed a few steps later).
+    let mut pending: Vec<mana_core::VReq> = Vec::new();
+    // Sub-communicators created by earlier split/dup steps.
+    let mut subcomms: Vec<VComm> = Vec::new();
+
+    for step in 0..cfg.steps {
+        // Deterministic per-rank compute skew so drains catch ranks at
+        // genuinely different points.
+        let skew = ((me as u64)
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(step as u64 * 40503)
+            % 97) as f64;
+        rank.compute(1e-6 + skew * 2e-8);
+        if cfg.pace_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(cfg.pace_us));
+        }
+
+        // All rng draws below happen identically on every rank.
+        let op = rng.next_range(100);
+        match op {
+            // Blocking allreduce on world.
+            0..=19 => {
+                let v = rank.allreduce_f64(world, &[acc], ReduceOp::Sum);
+                acc = 0.25 * acc + v[0] * 1e-3;
+            }
+            // Barrier.
+            20..=27 => rank.barrier(world),
+            // Bcast from a random root.
+            28..=37 => {
+                let root = rng.next_range(n as u64) as usize;
+                let data = if rank.comm_rank(world) == root {
+                    encode_f64(&[acc])
+                } else {
+                    Bytes::new()
+                };
+                let out = rank.bcast(world, root, data);
+                acc += decode_f64(&out)[0] * 1e-3;
+            }
+            // Non-blocking collective initiation (completed later or by
+            // the checkpoint drain).
+            38..=52 => {
+                let v = rank.iallreduce(world, encode_f64(&[1.0, acc]), DType::F64, ReduceOp::Sum);
+                pending.push(v);
+            }
+            // Complete all pending non-blocking collectives.
+            53..=62 => {
+                for v in pending.drain(..) {
+                    let c = rank.wait(v);
+                    acc += decode_f64(&c.data)[1] * 1e-4;
+                }
+            }
+            // Ring exchange: everyone sends to (r+1), receives from (r-1).
+            63..=74 => {
+                let to = (me + 1) % n;
+                let from = (me + n - 1) % n;
+                let sv = rank.isend(world, to, 5, encode_f64(&[acc]));
+                let (data, _st) = rank.recv(world, from, 5);
+                acc += decode_f64(&data)[0] * 1e-3;
+                rank.wait(sv);
+            }
+            // Split by schedule-chosen parity stripe; collective inside.
+            75..=81 => {
+                let stripe = 1 + rng.next_range(3) as usize; // 1..=3
+                let color = (me / stripe % 2) as i64;
+                let sub = rank
+                    .comm_split(world, color, me as i64)
+                    .expect("non-negative color");
+                let v = rank.allreduce_f64(sub, &[acc], ReduceOp::Max);
+                acc = 0.5 * acc + 0.5 * v[0];
+                subcomms.push(sub);
+            }
+            // Collective on a previously created subcomm (if any).
+            82..=86 => {
+                let pick = rng.next_range(8) as usize;
+                if let Some(&sub) = subcomms.get(pick % subcomms.len().max(1)) {
+                    let v = rank.allreduce_f64(sub, &[acc], ReduceOp::Sum);
+                    acc = 0.75 * acc + v[0] * 1e-3;
+                }
+            }
+            // Allgather.
+            87..=92 => {
+                let out = rank.allgather(world, encode_f64(&[acc]));
+                let s: f64 = decode_f64(&out).iter().sum();
+                acc = 0.9 * acc + s * 1e-3 / n as f64;
+            }
+            // Dup of world, then a barrier on the dup.
+            93..=94 => {
+                let d = rank.comm_dup(world);
+                rank.barrier(d);
+                subcomms.push(d);
+            }
+            // Directed pair message with a wildcard receive.
+            _ => {
+                let a = rng.next_range(n as u64) as usize;
+                let b = if n > 1 {
+                    (a + 1 + rng.next_range(n as u64 - 1) as usize) % n
+                } else {
+                    a
+                };
+                // A per-step tag keeps matching deterministic even when
+                // several wildcard messages are in flight at once.
+                let tag = 1000 + step as u32;
+                if a != b {
+                    if me == a {
+                        rank.send(world, b, tag, encode_f64(&[acc]));
+                    } else if me == b {
+                        let (data, _st) = rank.recv(world, SrcSel::Any, TagSel::Tag(tag));
+                        acc += decode_f64(&data)[0] * 1e-3;
+                    }
+                }
+            }
+        }
+    }
+    // Complete leftovers and synchronize.
+    for v in pending.drain(..) {
+        let c = rank.wait(v);
+        acc += decode_f64(&c.data)[1] * 1e-4;
+    }
+    rank.barrier(world);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt::{run_ckpt_world, CkptOptions};
+    use mpisim::{NetParams, WorldConfig};
+
+    fn cfg(n: usize) -> WorldConfig {
+        WorldConfig::single_node(n).with_params(NetParams::slingshot11().without_jitter())
+    }
+
+    #[test]
+    fn same_seed_same_results() {
+        let wl = RandomWorkloadCfg::new(11, 25);
+        let run = || {
+            run_ckpt_world(cfg(4), CkptOptions::native(), |r| random_workload(&wl, r))
+                .ranks
+                .into_iter()
+                .map(|r| r.result)
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_ckpt_world(cfg(2), CkptOptions::native(), |r| {
+            random_workload(&RandomWorkloadCfg::new(1, 25), r)
+        });
+        let b = run_ckpt_world(cfg(2), CkptOptions::native(), |r| {
+            random_workload(&RandomWorkloadCfg::new(2, 25), r)
+        });
+        let av: Vec<f64> = a.results().copied().collect();
+        let bv: Vec<f64> = b.results().copied().collect();
+        assert_ne!(av, bv);
+    }
+}
