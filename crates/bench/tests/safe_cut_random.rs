@@ -10,10 +10,12 @@
 //! assert bit-identical continuation against an uninterrupted run.
 
 use ckpt::{run_ckpt_world, Checkpoint, CkptOptions, ResumeMode};
+use mana_core::Protocol;
 use mpisim::{NetParams, VTime, WorldConfig};
 use workloads::{random_workload, RandomWorkloadCfg, SplitMix64};
 
 const SEEDS_PER_SIZE: u64 = 50;
+const SEEDS_PER_SIZE_2PC: u64 = 15;
 const STEPS: usize = 25;
 
 fn cfg(n: usize) -> WorldConfig {
@@ -24,8 +26,21 @@ fn cfg(n: usize) -> WorldConfig {
 /// trigger at a random fraction of the native makespan. Returns the
 /// checkpoint if one fired.
 fn one_case(n: usize, seed: u64) -> Option<Checkpoint> {
-    let wl = RandomWorkloadCfg::new(seed, STEPS);
-    let native = run_ckpt_world(cfg(n), CkptOptions::native(), |r| random_workload(&wl, r));
+    one_case_proto(n, seed, Protocol::Cc)
+}
+
+/// `one_case`, parameterized over the coordination protocol. 2PC runs use
+/// the blocking-only schedule (it refuses non-blocking collectives) and
+/// compare against a 2PC run without checkpoints, so the only difference
+/// is the checkpoint itself.
+fn one_case_proto(n: usize, seed: u64, protocol: Protocol) -> Option<Checkpoint> {
+    let mut wl = RandomWorkloadCfg::new(seed, STEPS);
+    if protocol == Protocol::TwoPhase {
+        wl = wl.with_blocking_only();
+    }
+    let native = run_ckpt_world(cfg(n), CkptOptions::native().with_protocol(protocol), |r| {
+        random_workload(&wl, r)
+    });
     let native_results: Vec<f64> = native.results().copied().collect();
 
     let mut rng = SplitMix64::new(seed ^ 0xC0FF_EE00);
@@ -37,17 +52,24 @@ fn one_case(n: usize, seed: u64) -> Option<Checkpoint> {
         ResumeMode::Continue
     };
 
-    let paced = RandomWorkloadCfg::new(seed, STEPS).with_pace_us(20);
-    let run = run_ckpt_world(cfg(n), CkptOptions::one_checkpoint(at, mode), |r| {
-        random_workload(&paced, r)
-    });
+    let paced = wl.clone().with_pace_us(20);
+    let run = run_ckpt_world(
+        cfg(n),
+        CkptOptions::one_checkpoint(at, mode).with_protocol(protocol),
+        |r| random_workload(&paced, r),
+    );
 
     // Data must continue bit-identically whether or not (and however) a
     // checkpoint intervened.
     let got: Vec<f64> = run.results().copied().collect();
     assert_eq!(
         got, native_results,
-        "divergent continuation: n={n} seed={seed} mode={mode:?}"
+        "divergent continuation: n={n} seed={seed} mode={mode:?} proto={protocol:?}"
+    );
+    assert!(
+        run.failures.is_empty(),
+        "n={n} seed={seed}: {:?}",
+        run.failures
     );
 
     let mut out = None;
@@ -75,17 +97,21 @@ fn one_case(n: usize, seed: u64) -> Option<Checkpoint> {
 }
 
 fn sweep(n: usize) {
+    sweep_proto(n, Protocol::Cc, SEEDS_PER_SIZE);
+}
+
+fn sweep_proto(n: usize, protocol: Protocol, seeds: u64) {
     let mut fired = 0u64;
-    for seed in 0..SEEDS_PER_SIZE {
-        if one_case(n, seed).is_some() {
+    for seed in 0..seeds {
+        if one_case_proto(n, seed, protocol).is_some() {
             fired += 1;
         }
     }
     // The trigger races workload completion; a rare miss is tolerated but
     // the harness must exercise real checkpoints for nearly every seed.
     assert!(
-        fired >= SEEDS_PER_SIZE * 9 / 10,
-        "only {fired}/{SEEDS_PER_SIZE} checkpoints fired at n={n}"
+        fired >= seeds * 9 / 10,
+        "only {fired}/{seeds} checkpoints fired at n={n} under {protocol:?}"
     );
 }
 
@@ -102,6 +128,25 @@ fn safe_cut_random_4_ranks() {
 #[test]
 fn safe_cut_random_8_ranks() {
     sweep(8);
+}
+
+// The same property holds for the 2PC stop-the-world cut: the oracle
+// accepts every captured 2PC cut and continuation stays bit-identical
+// (blocking-only schedules — 2PC refuses non-blocking collectives).
+
+#[test]
+fn safe_cut_random_2pc_2_ranks() {
+    sweep_proto(2, Protocol::TwoPhase, SEEDS_PER_SIZE_2PC);
+}
+
+#[test]
+fn safe_cut_random_2pc_4_ranks() {
+    sweep_proto(4, Protocol::TwoPhase, SEEDS_PER_SIZE_2PC);
+}
+
+#[test]
+fn safe_cut_random_2pc_8_ranks() {
+    sweep_proto(8, Protocol::TwoPhase, SEEDS_PER_SIZE_2PC);
 }
 
 /// The oracle itself must still reject: corrupt a genuinely captured log

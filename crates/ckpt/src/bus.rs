@@ -77,6 +77,16 @@ impl UpdateBus {
         self.raised.lock().clone()
     }
 
+    /// Unconditionally clears every inbox and all recorded raises — the
+    /// checkpoint-abort path, where queued updates are obsolete the moment
+    /// the request is withdrawn and must not leak into the next drain.
+    pub fn clear_all(&self) {
+        self.raised.lock().clear();
+        for i in &self.inboxes {
+            i.lock().clear();
+        }
+    }
+
     /// Clears per-checkpoint state (call after each completed checkpoint).
     pub fn reset(&self) {
         self.raised.lock().clear();

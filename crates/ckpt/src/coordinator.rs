@@ -2,20 +2,46 @@
 //! targets (Algorithm 1), supervises the drain to quiescence, captures the
 //! image, and resumes ranks — either on the same lower half (*continue*)
 //! or into a freshly built one (*restart*).
+//!
+//! Two coordination protocols are supported end-to-end:
+//!
+//! * **CC** (the paper): Algorithm 1 targets, the Figure 3b drain cascade,
+//!   and the §4.3.2 completion drain of non-blocking collectives.
+//! * **2PC** (MANA 2019's baseline, §2.2): no targets — a stop-the-world
+//!   cut where every rank parks at its next interposition point, with
+//!   in-progress trivial barriers captured (not drained) and re-issued at
+//!   restart.
+//!
+//! The drain is supervised by a no-progress watchdog: a point-to-point
+//! dependency the collective DAG cannot see (a blocking receive fed by a
+//! send gated behind a beyond-target collective) deadlocks the drain, and
+//! the coordinator returns a typed [`DrainError::P2pStall`] instead of
+//! hanging — the request is withdrawn and the application continues.
 
 use crate::image::{Checkpoint, DrainedMsg};
 use crate::session::Session;
-use mana_core::{CkptPhase, DrainEvent, Ggid, RankState, RuntimeCapture};
+use mana_core::{CkptPhase, DrainEvent, Ggid, Protocol, RankState, RuntimeCapture};
 use mpisim::msg::InFlightMsg;
 use mpisim::types::CommId;
 use mpisim::{SavedMsg, VTime, World};
+use netmodel::LustreModel;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long the coordinator sleeps between supervision polls (wall-clock).
 const POLL: Duration = Duration::from_micros(100);
+
+/// Default no-progress window before the drain watchdog declares a stall.
+///
+/// The watchdog is **wall-clock** based: it watches for any change in
+/// rank clocks, states, sequence tables, or update traffic. A workload
+/// that wall-sleeps (or a rank thread starved by the host scheduler) for
+/// longer than the window while a checkpoint is draining is
+/// indistinguishable from a genuine p2p deadlock and will be aborted as
+/// one — keep the window comfortably above any deliberate pauses.
+pub const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// What happens after the image is captured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,25 +50,97 @@ pub enum ResumeMode {
     /// re-deposited with their original timing.
     Continue,
     /// The lower half is discarded and rebuilt: ranks attach a fresh
-    /// world, replay their communicator logs, re-post pending receives,
-    /// and drained messages are re-deposited into the new generation.
+    /// world, replay their communicator logs, re-post pending receives
+    /// (and pending trivial barriers), and drained messages are
+    /// re-deposited into the new generation.
     Restart,
 }
+
+/// Storage model applied to checkpoint images: capture charges a parallel
+/// write of every rank's image, restart additionally charges the read-back.
+#[derive(Debug, Clone)]
+pub struct StorageSpec {
+    /// The parallel-filesystem timing model.
+    pub model: LustreModel,
+    /// Upper-half image size per rank (application memory dump), on top of
+    /// the dynamic runtime state actually captured.
+    pub image_bytes_per_rank: u64,
+}
+
+impl Default for StorageSpec {
+    /// Perlmutter scratch with the paper's 398 MB per-rank VASP image.
+    fn default() -> Self {
+        StorageSpec {
+            model: LustreModel::perlmutter_scratch(),
+            image_bytes_per_rank: 398 * 1024 * 1024,
+        }
+    }
+}
+
+/// Why a checkpoint attempt was aborted instead of committed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrainError {
+    /// The drain made no observable progress for the watchdog window: some
+    /// below-target rank is blocked on a point-to-point dependency (e.g. a
+    /// receive whose matching send sits behind a beyond-target collective
+    /// on a parked rank). The request was withdrawn and the application
+    /// resumed; `stalled` lists the ranks still short of their targets.
+    P2pStall {
+        /// Ranks that had not met their targets when the stall was declared.
+        stalled: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for DrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DrainError::P2pStall { stalled } => {
+                write!(
+                    f,
+                    "checkpoint drain stalled on ranks {stalled:?} (p2p dependency)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DrainError {}
 
 /// Drives checkpoints over a running [`Session`].
 pub struct Coordinator {
     sh: Arc<Session>,
+    storage: Option<StorageSpec>,
+    stall_timeout: Duration,
 }
 
 impl Coordinator {
-    /// Builds a coordinator for the session.
+    /// Builds a coordinator with no storage model and the default watchdog.
     pub fn new(sh: Arc<Session>) -> Self {
-        Coordinator { sh }
+        Coordinator {
+            sh,
+            storage: None,
+            stall_timeout: DEFAULT_STALL_TIMEOUT,
+        }
+    }
+
+    /// Attaches a storage model: image I/O is charged to the ranks'
+    /// virtual clocks at resume.
+    pub fn with_storage(mut self, storage: Option<StorageSpec>) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Overrides the drain watchdog window.
+    pub fn with_stall_timeout(mut self, t: Duration) -> Self {
+        self.stall_timeout = t;
+        self
     }
 
     /// Runs one full checkpoint: request → target computation → drain →
-    /// quiesce → capture → resume (per `mode`). Returns the captured image.
-    pub fn checkpoint(&self, mode: ResumeMode) -> Checkpoint {
+    /// quiesce → capture → resume (per `mode`). Returns the captured image,
+    /// or a typed error if the drain stalled (in which case the request has
+    /// been withdrawn and the application keeps running).
+    pub fn checkpoint(&self, mode: ResumeMode) -> Result<Checkpoint, DrainError> {
         let sh = &self.sh;
         let control = &sh.control;
         assert!(
@@ -50,39 +148,68 @@ impl Coordinator {
             "protocol {} cannot checkpoint",
             sh.protocol.name()
         );
+        let request_clock = VTime::from_secs(control.min_clock_secs());
+        // A rank descheduled mid-drain when a previous attempt was aborted
+        // can deliver its raise arbitrarily late — even after the abort's
+        // teardown. No legitimate update can exist before this request's
+        // targets are installed, so wipe the update state here rather than
+        // trusting the abort path to have won that race.
+        for rc in &control.ranks {
+            rc.updates_sent.store(0, SeqCst);
+            rc.updates_recv.store(0, SeqCst);
+        }
+        sh.bus.clear_all();
         sh.trace.push(DrainEvent::Requested);
         control.request_checkpoint();
-        let initial = control.compute_and_install_targets();
-        // Group membership for the drain-completion check, from the same
-        // snapshot the targets came from.
-        let mut members_of: HashMap<Ggid, Vec<usize>> = HashMap::new();
-        for rc in &control.ranks {
-            let t = rc.seq_mirror.lock();
-            for (g, e) in t.iter() {
-                members_of.entry(*g).or_insert_with(|| e.members.clone());
-            }
-        }
 
-        // Supervise the drain: every member of every targeted group must
-        // reach the (possibly raised) target, all update messages must be
-        // delivered and applied, and no rank may sit inside a collective.
-        let final_targets = loop {
-            let mut finals = initial.clone();
-            let mut mems = members_of.clone();
-            for (g, (t, m)) in sh.bus.raises() {
-                let e = finals.entry(g).or_insert(0);
-                *e = (*e).max(t);
-                mems.entry(g).or_insert(m);
+        let two_phase = sh.protocol == Protocol::TwoPhase;
+        let (initial, final_targets) = if two_phase {
+            // 2PC stop-the-world cut: no Algorithm 1 targets. Every rank
+            // parks at its next interposition point — outside MPI, in a
+            // cooperative receive wait, or inside a trivial barrier that
+            // cannot complete.
+            control.set_phase(CkptPhase::Quiescing);
+            (HashMap::new(), HashMap::new())
+        } else {
+            let initial = control.compute_and_install_targets();
+            // Group membership for the drain-completion check, from the
+            // same snapshot the targets came from.
+            let mut members_of: HashMap<Ggid, Vec<usize>> = HashMap::new();
+            for rc in &control.ranks {
+                let t = rc.seq_mirror.lock();
+                for (g, e) in t.iter() {
+                    members_of.entry(*g).or_insert_with(|| e.members.clone());
+                }
             }
-            if self.drain_complete(&finals, &mems) {
-                break finals;
-            }
-            std::thread::sleep(POLL);
+
+            // Supervise the drain: every member of every targeted group
+            // must reach the (possibly raised) target, all update messages
+            // must be delivered and applied, and no rank may sit inside a
+            // collective. A no-progress watchdog turns a p2p-induced
+            // deadlock into a typed error instead of a hang.
+            let mut watch = StallWatch::new(self.stall_timeout, self.progress_fingerprint());
+            let finals = loop {
+                let mut finals = initial.clone();
+                let mut mems = members_of.clone();
+                for (g, (t, m)) in sh.bus.raises() {
+                    let e = finals.entry(g).or_insert(0);
+                    *e = (*e).max(t);
+                    mems.entry(g).or_insert(m);
+                }
+                if self.drain_complete(&finals, &mems) {
+                    break finals;
+                }
+                if watch.stalled(self.progress_fingerprint()) {
+                    return Err(self.abort_stalled_drain());
+                }
+                std::thread::sleep(POLL);
+            };
+            control.set_phase(CkptPhase::Quiescing);
+            (initial, finals)
         };
 
         // Quiesce: every rank parks at its current interposition point and
         // publishes its capture.
-        control.set_phase(CkptPhase::Quiescing);
         while !control.ranks.iter().all(|r| {
             matches!(
                 r.state(),
@@ -97,11 +224,26 @@ impl Coordinator {
         control.set_phase(CkptPhase::Capturing);
 
         let world = sh.current_world();
-        assert_eq!(
-            world.live_collectives(),
-            0,
-            "collective invariant (§2.2) violated at capture"
-        );
+        let tb_parked = control
+            .ranks
+            .iter()
+            .filter(|r| r.state() == RankState::InTrivialBarrier)
+            .count();
+        if two_phase {
+            // Under 2PC the only in-flight collectives at capture are
+            // trivial barriers that cannot complete; they are captured as
+            // `pending_barrier`, never drained.
+            assert!(
+                world.live_collectives() <= tb_parked,
+                "a real collective was in flight at a 2PC capture"
+            );
+        } else {
+            assert_eq!(
+                world.live_collectives(),
+                0,
+                "collective invariant (§2.2) violated at capture"
+            );
+        }
         let captures: Vec<RuntimeCapture> = control
             .ranks
             .iter()
@@ -169,15 +311,34 @@ impl Coordinator {
                 *a = (*a).max(e.seq);
             }
         }
+
+        // Storage: a checkpoint writes every live rank's image in parallel;
+        // a restart reads them back. The cost lands on the virtual clocks
+        // at resume.
+        let (io_write_secs, io_read_secs) =
+            self.io_times(mode, control.n_ranks, &in_flight, &captures);
+        let charge_ns = ((io_write_secs + io_read_secs) * 1e9) as u64;
+        if charge_ns > 0 {
+            for rc in &control.ranks {
+                if rc.state() != RankState::Finished {
+                    rc.io_charge_ns.store(charge_ns, SeqCst);
+                }
+            }
+        }
+
         let ckpt = Checkpoint {
             epoch: world.epoch,
             n_ranks: control.n_ranks,
+            protocol: sh.protocol,
+            request_clock,
             initial_targets: initial,
             final_targets,
             achieved,
             captures,
             in_flight: in_flight.clone(),
             cut_events,
+            io_write_secs,
+            io_read_secs,
         };
         sh.trace.push(DrainEvent::Committed);
 
@@ -198,6 +359,15 @@ impl Coordinator {
                 control.world_epoch.fetch_add(1, SeqCst);
                 control.replayed_count.store(0, SeqCst);
                 for &i in &live {
+                    // The image is authoritative: restore the captured
+                    // call counters and the pending trivial barrier before
+                    // the rank rebuilds itself from the fresh lower half —
+                    // previously both were silently dropped (counters
+                    // reverted to thread-local leftovers, an in-progress
+                    // trivial barrier was never re-issued).
+                    let (pending_barrier, counters) = ckpt.rank_restore_state(i);
+                    *control.ranks[i].pending_barrier.lock() = pending_barrier;
+                    *control.ranks[i].restored_counters.lock() = Some(counters);
                     *control.ranks[i].new_world.lock() = Some(Arc::clone(&new_world));
                 }
                 control.set_phase(CkptPhase::Resuming);
@@ -226,7 +396,40 @@ impl Coordinator {
         control.reset_after_checkpoint();
         sh.bus.reset();
         sh.trace.push(DrainEvent::Resumed);
-        ckpt
+        Ok(ckpt)
+    }
+
+    /// Image write/read times for this checkpoint under the configured
+    /// storage model (zero when none is attached).
+    fn io_times(
+        &self,
+        mode: ResumeMode,
+        n_ranks: usize,
+        in_flight: &[DrainedMsg],
+        captures: &[RuntimeCapture],
+    ) -> (f64, f64) {
+        let Some(st) = &self.storage else {
+            return (0.0, 0.0);
+        };
+        let rpn = self.sh.cfg.ranks_per_node.max(1);
+        let nodes = n_ranks.div_ceil(rpn).max(1);
+        let files_per_node = rpn.min(n_ranks).max(1);
+        // Dynamic runtime state rides along with the fixed memory image.
+        let dynamic: usize = in_flight
+            .iter()
+            .map(|d| d.saved.payload.len())
+            .sum::<usize>()
+            + captures
+                .iter()
+                .map(|c| 64 * (c.comm_log.len() + c.pending_recvs.len()))
+                .sum::<usize>();
+        let bytes_per_file = st.image_bytes_per_rank + (dynamic / n_ranks.max(1)) as u64;
+        let w = st.model.write_time(nodes, files_per_node, bytes_per_file);
+        let r = match mode {
+            ResumeMode::Restart => st.model.read_time(nodes, files_per_node, bytes_per_file),
+            ResumeMode::Continue => 0.0,
+        };
+        (w, r)
     }
 
     fn rebuild_msg(&self, s: &SavedMsg, comm: CommId) -> InFlightMsg {
@@ -240,6 +443,67 @@ impl Coordinator {
             arrival: VTime::ZERO,
             seq: s.seq,
         }
+    }
+
+    /// Order-insensitive digest of everything that changes while a drain
+    /// makes progress: clocks, states, sequence tables, update counters,
+    /// and inbox depths. Two equal digests across the watchdog window mean
+    /// the drain is wedged.
+    fn progress_fingerprint(&self) -> u64 {
+        let control = &self.sh.control;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (i, rc) in control.ranks.iter().enumerate() {
+            mix(i as u64);
+            mix(rc.clock_ns.load(std::sync::atomic::Ordering::Relaxed));
+            mix(rc.state() as u64);
+            mix(rc.updates_sent.load(SeqCst));
+            mix(rc.updates_recv.load(SeqCst));
+            mix(rc.targets_met.load(SeqCst) as u64);
+            // Hash-map iteration order is arbitrary: fold entries through
+            // an order-independent accumulator first.
+            let mut acc: u64 = 0;
+            let t = rc.seq_mirror.lock();
+            for (g, e) in t.iter() {
+                acc = acc.wrapping_add(
+                    (g.0 ^ e.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        .wrapping_mul(0xff51_afd7_ed55_8ccd),
+                );
+            }
+            mix(acc);
+        }
+        h
+    }
+
+    /// Withdraws a stalled checkpoint request: targets are torn down, the
+    /// bus is cleared, and the pending flag dropped so parked ranks resume
+    /// the application. Returns the typed stall error.
+    fn abort_stalled_drain(&self) -> DrainError {
+        let control = &self.sh.control;
+        let stalled: Vec<usize> = control
+            .ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, rc)| rc.state() != RankState::Finished && !rc.targets_met.load(SeqCst))
+            .map(|(i, _)| i)
+            .collect();
+        self.sh.trace.push(DrainEvent::Aborted);
+        // Drop the request first so ranks stop acting on the drain, give
+        // in-progress wrapper iterations a beat to observe it, then tear
+        // down the per-checkpoint state they might still have been touching.
+        control.clear_pending();
+        std::thread::sleep(POLL * 10);
+        for rc in &control.ranks {
+            rc.targets_ready.store(false, SeqCst);
+            rc.initial_targets.lock().clear();
+            rc.updates_sent.store(0, SeqCst);
+            rc.updates_recv.store(0, SeqCst);
+        }
+        self.sh.bus.clear_all();
+        DrainError::P2pStall { stalled }
     }
 
     /// Whether the drain has stably terminated for `finals`.
@@ -272,5 +536,33 @@ impl Coordinator {
             && control.updates_balanced()
             && self.sh.bus.all_empty()
             && !control.any_in_collective()
+    }
+}
+
+/// Wall-clock no-progress watchdog over an opaque fingerprint.
+struct StallWatch {
+    window: Duration,
+    last_fp: u64,
+    last_change: Instant,
+}
+
+impl StallWatch {
+    fn new(window: Duration, fp: u64) -> Self {
+        StallWatch {
+            window,
+            last_fp: fp,
+            last_change: Instant::now(),
+        }
+    }
+
+    /// Feeds the current fingerprint; true once it has been unchanged for
+    /// the full window.
+    fn stalled(&mut self, fp: u64) -> bool {
+        if fp != self.last_fp {
+            self.last_fp = fp;
+            self.last_change = Instant::now();
+            return false;
+        }
+        self.last_change.elapsed() >= self.window
     }
 }

@@ -1,7 +1,7 @@
 //! The checkpoint image: everything captured at a safe state, in
 //! restart-stable terms, plus the evidence the safe-cut oracle consumes.
 
-use mana_core::{verify_safe_cut, ExecEvent, Ggid, RuntimeCapture, Violation};
+use mana_core::{verify_safe_cut, ExecEvent, Ggid, Protocol, RuntimeCapture, Violation};
 use mpisim::{SavedMsg, VTime};
 use std::collections::HashMap;
 
@@ -25,7 +25,14 @@ pub struct Checkpoint {
     pub epoch: u64,
     /// Number of ranks.
     pub n_ranks: usize,
+    /// Coordination protocol the image was captured under.
+    pub protocol: Protocol,
+    /// Minimum published virtual clock when the request was issued; the
+    /// gap to [`Checkpoint::capture_clock`] is the virtual drain latency
+    /// (the paper's Figure 7 measurement).
+    pub request_clock: VTime,
     /// Algorithm 1's initial targets (global max of snapshotted `SEQ[]`).
+    /// Empty under 2PC, which computes no targets.
     pub initial_targets: HashMap<Ggid, u64>,
     /// Initial targets merged with every overshoot raise: the targets the
     /// drain actually ran to.
@@ -39,6 +46,12 @@ pub struct Checkpoint {
     pub in_flight: Vec<DrainedMsg>,
     /// Snapshot of the execution log at capture (the cut).
     pub cut_events: Vec<ExecEvent>,
+    /// Virtual seconds charged for writing the image set to storage
+    /// (zero when the session has no storage model).
+    pub io_write_secs: f64,
+    /// Virtual seconds charged for reading the image set back (restart
+    /// resumes only; zero for checkpoint-and-continue).
+    pub io_read_secs: f64,
 }
 
 impl Checkpoint {
@@ -66,6 +79,19 @@ impl Checkpoint {
     pub fn capture_clock(&self) -> VTime {
         VTime::max_of(self.captures.iter().map(|c| c.clock))
     }
+
+    /// Virtual drain latency in seconds: request to capture.
+    pub fn drain_latency_secs(&self) -> f64 {
+        (self.capture_clock().as_secs() - self.request_clock.as_secs()).max(0.0)
+    }
+
+    /// The per-rank state a restart resume must re-install from this image
+    /// (the coordinator threads it back through the control plane):
+    /// `(pending trivial barrier, call counters)`.
+    pub fn rank_restore_state(&self, rank: usize) -> (Option<(u64, u64)>, mana_core::CallCounters) {
+        let c = &self.captures[rank];
+        (c.pending_barrier, c.counters)
+    }
 }
 
 #[cfg(test)]
@@ -85,12 +111,16 @@ mod tests {
         Checkpoint {
             epoch: 0,
             n_ranks: 2,
+            protocol: Protocol::Cc,
+            request_clock: VTime::ZERO,
             initial_targets: HashMap::new(),
             final_targets: HashMap::new(),
             achieved: achieved.iter().map(|&(g, s)| (Ggid(g), s)).collect(),
             captures: Vec::new(),
             in_flight: Vec::new(),
             cut_events: events,
+            io_write_secs: 0.0,
+            io_read_secs: 0.0,
         }
     }
 

@@ -25,7 +25,7 @@ pub mod runner;
 pub mod session;
 
 pub use bus::{TargetUpdate, UpdateBus};
-pub use coordinator::{Coordinator, ResumeMode};
+pub use coordinator::{Coordinator, DrainError, ResumeMode, StorageSpec};
 pub use image::{Checkpoint, DrainedMsg};
 pub use rank::CcRank;
 pub use runner::{run_ckpt_world, CkptOptions, CkptRunReport, CkptTrigger};

@@ -17,16 +17,18 @@ use crate::session::Session;
 use bytes::Bytes;
 use mana_core::capture::PendingRecv;
 use mana_core::{
-    ggid_of, ggid_of_sorted, CallCounters, CkptPhase, CommOp, DrainEvent, Ggid, RankState,
-    RuntimeCapture, TargetTable, VComm, VCommTable, VReq, VReqKind, VReqState, VReqTable,
-    VCOMM_WORLD,
+    ggid_of, ggid_of_sorted, CallCounters, CkptPhase, CommOp, DrainEvent, Ggid, Protocol,
+    RankState, RuntimeCapture, TargetTable, VComm, VCommTable, VReq, VReqKind, VReqState,
+    VReqTable, VCOMM_WORLD,
 };
 use mpisim::collective::RedSpec;
 use mpisim::comm::{create_color, SplitKey};
 use mpisim::dtype::{decode_f64, encode_f64};
 use mpisim::{
-    CollOp, Comm, Completion, Ctx, DType, Group, ReduceOp, SrcSel, Status, TagSel, VTime, World,
+    CollOp, Comm, Completion, Ctx, DType, Group, ReduceOp, Request, SrcSel, Status, TagSel, VTime,
+    World,
 };
+use netmodel::wrapper_cost;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Arc;
@@ -41,6 +43,13 @@ pub struct CcRank {
     vcomms: VCommTable,
     vreqs: VReqTable,
     counters: CallCounters,
+    /// 2PC: the live lower-half request of an in-progress trivial barrier,
+    /// kept outside [`VReqTable`] (the app never sees it) so a capture can
+    /// park around it and a continue-resume can keep polling it.
+    tb_req: Option<Request>,
+    /// 2PC: ordinal of the next trivial barrier this rank posts (capture
+    /// metadata: identifies *which* entry the rank was parked at).
+    tb_ordinal: u64,
 }
 
 impl CcRank {
@@ -58,6 +67,8 @@ impl CcRank {
             vcomms: VCommTable::new(),
             vreqs: VReqTable::new(),
             counters: CallCounters::default(),
+            tb_req: None,
+            tb_ordinal: 0,
         };
         let wcomm = r.ctx.comm_world();
         let ggid = ggid_of(wcomm.group());
@@ -88,9 +99,11 @@ impl CcRank {
         self.ctx.clock()
     }
 
-    /// Advances the clock by `secs` of local computation.
+    /// Advances the clock by `secs` of local computation and publishes the
+    /// new clock, so trigger scheduling sees compute-bound progress too.
     pub fn compute(&mut self, secs: f64) {
         self.ctx.compute(secs);
+        self.publish_clock();
     }
 
     /// `MPI_COMM_WORLD`'s virtual id.
@@ -120,13 +133,19 @@ impl CcRank {
     /// Cheap per-interposition servicing: publish the clock, pick up
     /// targets and updates when a checkpoint is pending, clean up after a
     /// finished one.
-    fn service_control(&mut self) {
-        let sh = Arc::clone(&self.sh);
-        let ctl = &sh.control.ranks[self.rank];
-        ctl.clock_ns.store(
+    /// Publishes the rank's virtual clock for the coordinator's trigger
+    /// scheduling.
+    fn publish_clock(&self) {
+        self.sh.control.ranks[self.rank].clock_ns.store(
             (self.ctx.clock().as_secs() * 1e9) as u64,
             std::sync::atomic::Ordering::Relaxed,
         );
+    }
+
+    fn service_control(&mut self) {
+        let sh = Arc::clone(&self.sh);
+        let ctl = &sh.control.ranks[self.rank];
+        self.publish_clock();
         if sh.control.is_pending() {
             if ctl.targets_ready.load(SeqCst) {
                 self.install_targets_if_new();
@@ -209,9 +228,20 @@ impl CcRank {
     // ------------------------------------------------------------------
 
     /// The collective-wrapper entry: counts the call on the group's
-    /// sequence number, subject to the drain protocol. Returns the resolved
-    /// lower-half communicator and the new sequence number.
+    /// sequence number, subject to the coordination protocol in force.
+    /// Returns the resolved lower-half communicator and the new sequence
+    /// number.
     fn coll_gate(&mut self, vc: VComm) -> (Comm, Ggid, u64) {
+        match self.sh.protocol {
+            Protocol::TwoPhase => return self.coll_gate_2pc(vc),
+            Protocol::Cc => {
+                // The CC steady-state cost: one virtualized-handle lookup
+                // plus a `SEQ[ggid]` increment.
+                let w = wrapper_cost(self.ctx.world().params());
+                self.ctx.compute(w);
+            }
+            Protocol::Native => {}
+        }
         loop {
             self.service_control();
             let sh = Arc::clone(&self.sh);
@@ -262,6 +292,92 @@ impl CcRank {
             // Re-resolve on the next loop: a restart may have replaced the
             // lower half while we were parked.
         }
+    }
+
+    /// The 2PC gate (MANA 2019, §2.2 of the paper): a *trivial barrier* —
+    /// an internal `MPI_Ibarrier` + `MPI_Test` loop — in front of every
+    /// collective. The rank may only enter the real collective once the
+    /// barrier completes, which proves every member has reached this entry;
+    /// a checkpoint intent observed while the barrier cannot complete parks
+    /// the rank inside the barrier (captured via `pending_barrier` and
+    /// re-issued at restart). This is what de-pipelines non-synchronizing
+    /// collectives and amplifies per-rank jitter (Figure 5a).
+    fn coll_gate_2pc(&mut self, vc: VComm) -> (Comm, Ggid, u64) {
+        let sh = Arc::clone(&self.sh);
+        let w = wrapper_cost(self.ctx.world().params());
+        self.ctx.compute(w);
+        // Stop-the-world cut, phase 1: a rank that observes the intent
+        // *before* initiating its trivial barrier stops right here — its
+        // peers' barriers then (correctly) cannot complete.
+        loop {
+            self.service_control();
+            if sh.control.is_pending() && sh.control.phase() == CkptPhase::Quiescing {
+                self.quiesce(RankState::Quiesced);
+                continue;
+            }
+            break;
+        }
+        let ordinal = self.tb_ordinal;
+        self.tb_ordinal += 1;
+        self.counters.trivial_barriers += 1;
+        let mut req = {
+            let comm = self.vcomms.resolve(vc).0.clone();
+            self.ctx.ibarrier(&comm)
+        };
+        // Test-poll until completion. The first check is a charged
+        // `MPI_Test`; afterwards the loop synchronizes to the barrier's
+        // exit time directly (`Ctx::try_complete`), which keeps virtual
+        // time deterministic while preserving the de-pipelining cost: this
+        // rank cannot proceed before every member has arrived.
+        let mut polled = false;
+        loop {
+            let done = if polled {
+                self.ctx.try_complete(&mut req).is_some()
+            } else {
+                polled = true;
+                self.counters.completions += 1;
+                self.ctx.test(&mut req).is_some()
+            };
+            if done {
+                break;
+            }
+            self.service_control();
+            if sh.control.is_pending() && sh.control.phase() == CkptPhase::Quiescing {
+                // Intent while the barrier is in flight. Barrier-instance
+                // completion is global and monotone, so every member makes
+                // the same choice here: if all members have initiated,
+                // finish the barrier and enter the real collective;
+                // otherwise park *inside* the barrier — it is captured as
+                // pending and re-issued at restart.
+                if self.ctx.try_complete(&mut req).is_some() {
+                    break;
+                }
+                *sh.control.ranks[self.rank].pending_barrier.lock() = Some((vc.0, ordinal));
+                self.tb_req = Some(req);
+                sh.trace.push(DrainEvent::TrivialBarrierParked(self.rank));
+                self.quiesce(RankState::InTrivialBarrier);
+                req = self
+                    .tb_req
+                    .take()
+                    .expect("trivial barrier request survives the capture");
+                *sh.control.ranks[self.rank].pending_barrier.lock() = None;
+                continue;
+            }
+            self.ctx.park_briefly();
+        }
+        // Barrier complete: every member is at this entry. Count the call
+        // and let the caller run the real collective. Re-resolve the
+        // communicator: a restart while parked replaced the lower half.
+        let (comm, ggid) = {
+            let (c, g) = self.vcomms.resolve(vc);
+            (c.clone(), *g)
+        };
+        let seq = sh.control.ranks[self.rank]
+            .seq_mirror
+            .lock()
+            .increment(ggid);
+        self.record_exec(ggid, seq);
+        (comm, ggid, seq)
     }
 
     /// Algorithm 2's overshoot path: our increment raced the coordinator's
@@ -398,7 +514,17 @@ impl CcRank {
         }
         if restarted {
             self.repost_pending_recvs();
+            self.repost_trivial_barrier();
         }
+        // Checkpoint-image storage I/O (Lustre write, plus read at
+        // restart) is charged to the rank's virtual clock at resume.
+        let io_ns = sh.control.ranks[self.rank]
+            .io_charge_ns
+            .swap(0, std::sync::atomic::Ordering::SeqCst);
+        if io_ns > 0 {
+            self.ctx.compute(io_ns as f64 * 1e-9);
+        }
+        self.publish_clock();
         sh.control.ranks[self.rank].set_state(RankState::Running);
     }
 
@@ -479,8 +605,27 @@ impl CcRank {
             }
         }
         let sh = Arc::clone(&self.sh);
+        // The image is authoritative across a restart: adopt the counters
+        // the coordinator restored from the capture (they would otherwise
+        // silently revert to whatever the thread last held).
+        if let Some(c) = sh.control.ranks[self.rank].restored_counters.lock().take() {
+            self.counters = c;
+        }
         *sh.control.ranks[self.rank].replayed_comms.lock() = self.vcomms.lower_map();
         sh.control.replayed_count.fetch_add(1, SeqCst);
+    }
+
+    /// Re-issues the trivial barrier this rank was parked in at capture
+    /// (2PC, restart path): the coordinator restored `pending_barrier` from
+    /// the image; members that had not yet initiated will post theirs on
+    /// reaching the same entry, and the per-communicator collective
+    /// ordinals of the fresh lower half line both posts up on one instance.
+    fn repost_trivial_barrier(&mut self) {
+        let pb = *self.sh.control.ranks[self.rank].pending_barrier.lock();
+        if let Some((vc, _ordinal)) = pb {
+            let comm = self.vcomms.resolve(VComm(vc)).0.clone();
+            self.tb_req = Some(self.ctx.ibarrier(&comm));
+        }
     }
 
     /// Re-posts every pending receive against the fresh lower half.

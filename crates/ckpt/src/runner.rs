@@ -2,11 +2,11 @@
 //! [`CcRank`] wrapper) and supervises checkpoint triggers from the calling
 //! thread.
 
-use crate::coordinator::{Coordinator, ResumeMode};
+use crate::coordinator::{Coordinator, DrainError, ResumeMode, StorageSpec, DEFAULT_STALL_TIMEOUT};
 use crate::image::Checkpoint;
 use crate::rank::CcRank;
 use crate::session::Session;
-use mana_core::{DrainTrace, ExecEvent, Protocol, RankState};
+use mana_core::{CallCounters, DrainTrace, ExecEvent, Protocol, RankState};
 use mpisim::{RankReport, VTime, WorldConfig};
 use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Arc;
@@ -29,6 +29,13 @@ pub struct CkptOptions {
     pub protocol: Protocol,
     /// Checkpoints to run, in order.
     pub triggers: Vec<CkptTrigger>,
+    /// Storage model for checkpoint-image I/O; `None` makes checkpoints
+    /// free on the virtual clocks (unit-test arithmetic).
+    pub storage: Option<StorageSpec>,
+    /// Drain watchdog window before a stalled checkpoint is aborted with
+    /// [`DrainError::P2pStall`]. Wall-clock: workloads that deliberately
+    /// `sleep` longer than this during a drain will be misread as stalled.
+    pub stall_timeout: Duration,
 }
 
 impl Default for CkptOptions {
@@ -36,6 +43,8 @@ impl Default for CkptOptions {
         CkptOptions {
             protocol: Protocol::Cc,
             triggers: Vec::new(),
+            storage: None,
+            stall_timeout: DEFAULT_STALL_TIMEOUT,
         }
     }
 }
@@ -44,18 +53,33 @@ impl CkptOptions {
     /// No checkpointing: the wrapper still interposes, so timing and data
     /// are directly comparable with checkpointed runs.
     pub fn native() -> Self {
-        CkptOptions {
-            protocol: Protocol::Cc,
-            triggers: Vec::new(),
-        }
+        CkptOptions::default()
     }
 
     /// One checkpoint at virtual time `at`.
     pub fn one_checkpoint(at: VTime, mode: ResumeMode) -> Self {
         CkptOptions {
-            protocol: Protocol::Cc,
             triggers: vec![CkptTrigger { at, mode }],
+            ..CkptOptions::default()
         }
+    }
+
+    /// Replaces the coordination protocol.
+    pub fn with_protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Attaches a storage model for image I/O.
+    pub fn with_storage(mut self, storage: StorageSpec) -> Self {
+        self.storage = Some(storage);
+        self
+    }
+
+    /// Overrides the drain watchdog window.
+    pub fn with_stall_timeout(mut self, t: Duration) -> Self {
+        self.stall_timeout = t;
+        self
     }
 }
 
@@ -68,6 +92,11 @@ pub struct CkptRunReport<R> {
     pub makespan: VTime,
     /// Every captured checkpoint, in order.
     pub checkpoints: Vec<Checkpoint>,
+    /// Checkpoint attempts that were aborted (e.g. a p2p-induced drain
+    /// stall), in trigger order.
+    pub failures: Vec<DrainError>,
+    /// Final interposition counters per rank (captured at finish).
+    pub final_counters: Vec<CallCounters>,
     /// Drain-protocol trace.
     pub trace: DrainTrace,
     /// Full execution log (all collective participations).
@@ -96,10 +125,6 @@ where
     F: Fn(&mut CcRank) -> R + Send + Sync,
 {
     assert!(
-        opts.protocol != Protocol::TwoPhase,
-        "the 2PC orchestrator is a roadmap item; use Protocol::Cc"
-    );
-    assert!(
         opts.triggers.is_empty() || opts.protocol.supports_checkpoint(),
         "protocol {} cannot checkpoint",
         opts.protocol.name()
@@ -108,6 +133,7 @@ where
     let n = cfg.n_ranks;
     let mut reports: Vec<Option<RankReport<R>>> = (0..n).map(|_| None).collect();
     let mut checkpoints = Vec::new();
+    let mut failures = Vec::new();
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(n);
         for rank in 0..n {
@@ -142,14 +168,19 @@ where
         }
 
         // Trigger supervision runs on the calling thread.
-        let coord = Coordinator::new(Arc::clone(&sh));
+        let coord = Coordinator::new(Arc::clone(&sh))
+            .with_storage(opts.storage.clone())
+            .with_stall_timeout(opts.stall_timeout);
         for trig in &opts.triggers {
             loop {
                 if all_finished(&sh) {
                     break;
                 }
                 if min_unfinished_clock(&sh) >= trig.at {
-                    checkpoints.push(coord.checkpoint(trig.mode));
+                    match coord.checkpoint(trig.mode) {
+                        Ok(c) => checkpoints.push(c),
+                        Err(e) => failures.push(e),
+                    }
                     break;
                 }
                 std::thread::sleep(Duration::from_micros(200));
@@ -164,10 +195,24 @@ where
     });
     let ranks: Vec<RankReport<R>> = reports.into_iter().map(|r| r.unwrap()).collect();
     let makespan = VTime::max_of(ranks.iter().map(|r| r.final_clock));
+    let final_counters: Vec<CallCounters> = sh
+        .control
+        .ranks
+        .iter()
+        .map(|rc| {
+            rc.capture_slot
+                .lock()
+                .as_ref()
+                .map(|c| c.counters)
+                .unwrap_or_default()
+        })
+        .collect();
     CkptRunReport {
         ranks,
         makespan,
         checkpoints,
+        failures,
+        final_counters,
         trace: sh.trace.clone(),
         events: sh.exec_log.events(),
     }

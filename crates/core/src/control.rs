@@ -102,6 +102,14 @@ pub struct RankCtl {
     /// 2PC: the pending trivial barrier (vcomm, collective ordinal) the
     /// rank was sitting in at capture, to re-issue at restart.
     pub pending_barrier: Mutex<Option<(u64, u64)>>,
+    /// Counters restored from a checkpoint image by the coordinator's
+    /// restart path; the rank adopts them while attaching the fresh lower
+    /// half so the image — not thread-local leftovers — is authoritative.
+    pub restored_counters: Mutex<Option<crate::counters::CallCounters>>,
+    /// Virtual-time charge (nanoseconds) for checkpoint-image storage I/O
+    /// (Lustre write at capture, plus read at restart), installed by the
+    /// coordinator before resume and consumed once by the rank.
+    pub io_charge_ns: AtomicU64,
     /// Runtime state published by the rank at quiesce, consumed by the
     /// coordinator to build the checkpoint image.
     pub capture_slot: Mutex<Option<crate::capture::RuntimeCapture>>,
@@ -130,6 +138,8 @@ impl RankCtl {
             in_collective: AtomicBool::new(false),
             clock_ns: AtomicU64::new(0),
             pending_barrier: Mutex::new(None),
+            restored_counters: Mutex::new(None),
+            io_charge_ns: AtomicU64::new(0),
             capture_slot: Mutex::new(None),
             new_world: Mutex::new(None),
             replayed_comms: Mutex::new(HashMap::new()),

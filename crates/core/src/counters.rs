@@ -22,6 +22,9 @@ pub struct CallCounters {
     pub drain_updates_sent: u64,
     /// Target-update messages received during drains.
     pub drain_updates_recv: u64,
+    /// 2PC: trivial barriers posted in front of collectives (one per
+    /// collective entry under `Protocol::TwoPhase`, zero under CC).
+    pub trivial_barriers: u64,
 }
 
 impl CallCounters {
@@ -56,6 +59,22 @@ impl CallCounters {
         self.comm_mgmt += o.comm_mgmt;
         self.drain_updates_sent += o.drain_updates_sent;
         self.drain_updates_recv += o.drain_updates_recv;
+        self.trivial_barriers += o.trivial_barriers;
+    }
+
+    /// Whether every field of `self` is at least the corresponding field of
+    /// `earlier` — the monotonicity a restart-restored counter set must
+    /// satisfy relative to the capture it was restored from.
+    pub fn dominates(&self, earlier: &CallCounters) -> bool {
+        self.coll_blocking >= earlier.coll_blocking
+            && self.coll_nonblocking >= earlier.coll_nonblocking
+            && self.p2p_sends >= earlier.p2p_sends
+            && self.p2p_recvs >= earlier.p2p_recvs
+            && self.completions >= earlier.completions
+            && self.comm_mgmt >= earlier.comm_mgmt
+            && self.drain_updates_sent >= earlier.drain_updates_sent
+            && self.drain_updates_recv >= earlier.drain_updates_recv
+            && self.trivial_barriers >= earlier.trivial_barriers
     }
 }
 

@@ -32,10 +32,17 @@ pub enum DrainEvent {
     Unparked(usize),
     /// Rank quiesced for capture: `(rank)`.
     Quiesced(usize),
+    /// 2PC: rank parked inside its trivial barrier's test loop because the
+    /// barrier cannot complete under a pending checkpoint: `(rank)`.
+    TrivialBarrierParked(usize),
     /// Checkpoint committed (images captured).
     Committed,
     /// Ranks resumed (continue or restart).
     Resumed,
+    /// Coordinator aborted the checkpoint: the drain watchdog detected a
+    /// stall (e.g. a point-to-point dependency the collective DAG cannot
+    /// see) and withdrew the request instead of hanging.
+    Aborted,
 }
 
 /// A shared, append-only drain-event log.

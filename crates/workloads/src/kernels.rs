@@ -38,6 +38,40 @@ pub fn scf_loop(rank: &mut CcRank, iters: usize, elems: usize) -> f64 {
     energy
 }
 
+/// A broadcast pipeline — the paper's worst case for 2PC (Figure 5a).
+/// The root streams `iters` broadcasts while every rank does skewed local
+/// work between them. `MPI_Bcast` is *non-synchronizing*: the root exits
+/// its binomial tree long before the leaves, so back-to-back broadcasts
+/// pipeline and per-rank jitter is absorbed in slack. A trivial barrier in
+/// front of each call (2PC) forces every rank to meet, de-pipelining the
+/// stream and amplifying jitter by the expected max over all ranks.
+/// Returns a checksum of everything received (identical on every rank).
+pub fn bcast_pipeline(rank: &mut CcRank, iters: usize, bytes: usize) -> f64 {
+    let world = rank.world_vcomm();
+    let me = rank.rank();
+    let template: Vec<u8> = (0..bytes).map(|i| (i % 251) as u8).collect();
+    let mut acc = 0.0f64;
+    for it in 0..iters {
+        // Skewed local work; the root is lightest so it can run ahead.
+        let skew = ((me as u64)
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(it as u64 * 131)
+            % 29) as f64;
+        rank.compute(0.5e-6 + skew * 60e-9);
+        let data = if me == 0 {
+            let mut p = template.clone();
+            p[0] = (it % 251) as u8;
+            Bytes::from(p)
+        } else {
+            Bytes::new()
+        };
+        let out = rank.bcast(world, 0, data);
+        acc += out.as_ref().iter().map(|&b| f64::from(b)).sum::<f64>() * 1e-6;
+    }
+    rank.barrier(world);
+    acc
+}
+
 /// A 1-D non-blocking halo exchange: each rank owns a slab, trades edge
 /// cells with both neighbors via irecv/isend, overlaps interior compute,
 /// then applies a stencil. Returns a checksum of the final slab.
@@ -64,8 +98,11 @@ pub fn halo_exchange(rank: &mut CcRank, iters: usize, cells: usize) -> f64 {
         rank.wait(sr);
         slab[0] = 0.5 * slab[0] + 0.25 * from_left + 0.25 * slab[1];
         slab[cells - 1] = 0.5 * slab[cells - 1] + 0.25 * from_right + 0.25 * slab[cells - 2];
+        // One collective per sweep (a residual-check barrier), so the
+        // kernel carries a realistic collective rate for the protocol
+        // comparison.
+        rank.barrier(world);
     }
-    rank.barrier(world);
     slab.iter()
         .enumerate()
         .map(|(i, x)| x * (i + 1) as f64)

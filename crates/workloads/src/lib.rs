@@ -15,6 +15,6 @@ pub mod random;
 pub mod rng;
 
 pub use demo::{quickstart, QuickstartOutcome};
-pub use kernels::{halo_exchange, scf_loop};
+pub use kernels::{bcast_pipeline, halo_exchange, scf_loop};
 pub use random::{random_workload, RandomWorkloadCfg};
 pub use rng::SplitMix64;

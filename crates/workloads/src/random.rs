@@ -28,6 +28,11 @@ pub struct RandomWorkloadCfg {
     /// trigger reliably catches the run mid-flight instead of racing a
     /// wall-fast completion.
     pub pace_us: u64,
+    /// Remap non-blocking collective steps onto blocking equivalents
+    /// (same rng draw sequence, so the schedule stays globally agreed).
+    /// Required under `Protocol::TwoPhase`, which refuses non-blocking
+    /// collectives.
+    pub blocking_only: bool,
 }
 
 impl RandomWorkloadCfg {
@@ -37,12 +42,19 @@ impl RandomWorkloadCfg {
             seed,
             steps,
             pace_us: 0,
+            blocking_only: false,
         }
     }
 
     /// Adds a per-step wall-clock pace.
     pub fn with_pace_us(mut self, us: u64) -> Self {
         self.pace_us = us;
+        self
+    }
+
+    /// Restricts the schedule to blocking collectives (2PC-compatible).
+    pub fn with_blocking_only(mut self) -> Self {
+        self.blocking_only = true;
         self
     }
 }
@@ -93,16 +105,29 @@ pub fn random_workload(cfg: &RandomWorkloadCfg, rank: &mut CcRank) -> f64 {
                 acc += decode_f64(&out)[0] * 1e-3;
             }
             // Non-blocking collective initiation (completed later or by
-            // the checkpoint drain).
+            // the checkpoint drain). Blocking-only schedules (2PC) run the
+            // same reduction synchronously.
             38..=52 => {
-                let v = rank.iallreduce(world, encode_f64(&[1.0, acc]), DType::F64, ReduceOp::Sum);
-                pending.push(v);
+                if cfg.blocking_only {
+                    let out =
+                        rank.allreduce(world, encode_f64(&[1.0, acc]), DType::F64, ReduceOp::Sum);
+                    acc += decode_f64(&out)[1] * 1e-4;
+                } else {
+                    let v =
+                        rank.iallreduce(world, encode_f64(&[1.0, acc]), DType::F64, ReduceOp::Sum);
+                    pending.push(v);
+                }
             }
-            // Complete all pending non-blocking collectives.
+            // Complete all pending non-blocking collectives (a barrier
+            // under blocking-only schedules, which have none pending).
             53..=62 => {
-                for v in pending.drain(..) {
-                    let c = rank.wait(v);
-                    acc += decode_f64(&c.data)[1] * 1e-4;
+                if cfg.blocking_only {
+                    rank.barrier(world);
+                } else {
+                    for v in pending.drain(..) {
+                        let c = rank.wait(v);
+                        acc += decode_f64(&c.data)[1] * 1e-4;
+                    }
                 }
             }
             // Ring exchange: everyone sends to (r+1), receives from (r-1).

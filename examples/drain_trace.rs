@@ -44,8 +44,12 @@ fn main() {
             DrainEvent::Parked(r) => println!("  rank {r}: parked at wrapper entry"),
             DrainEvent::Unparked(r) => println!("  rank {r}: released (target raised)"),
             DrainEvent::Quiesced(r) => println!("  rank {r}: quiesced for capture"),
+            DrainEvent::TrivialBarrierParked(r) => {
+                println!("  rank {r}: parked in a 2PC trivial barrier")
+            }
             DrainEvent::Committed => println!("* coordinator: image committed"),
             DrainEvent::Resumed => println!("* coordinator: ranks resumed"),
+            DrainEvent::Aborted => println!("* coordinator: checkpoint aborted (drain stall)"),
         }
     }
     for ckpt in &run.checkpoints {

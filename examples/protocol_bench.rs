@@ -1,0 +1,82 @@
+//! The protocol-comparison bench (the paper's Figure 5a): CC vs. MANA's
+//! 2PC trivial-barrier baseline on SCF, halo-exchange, and
+//! broadcast-pipeline workloads across {2,4,8} ranks, with OS jitter on
+//! and off, one checkpoint-and-continue per protocol run. Writes
+//! `BENCH_protocols.json` into the current directory.
+//!
+//! ```sh
+//! cargo run --release --example protocol_bench            # full matrix
+//! PROTO_BENCH_ITERS=40 cargo run --release --example protocol_bench  # CI
+//! ```
+
+use bench::{figure5a_matrix, records_to_json, BenchConfig};
+
+fn main() {
+    let iters = std::env::var("PROTO_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(120);
+    let cfg = BenchConfig {
+        iters,
+        ..BenchConfig::default()
+    };
+    let records = figure5a_matrix(&cfg);
+
+    println!(
+        "{:<16} {:>5} {:>6} {:>4} {:>14} {:>14} {:>10} {:>12}",
+        "workload", "ranks", "proto", "jit", "native(ms)", "run(ms)", "ovh(%)", "drain(us)"
+    );
+    for r in &records {
+        let drain_us: Vec<String> = r
+            .drain_latency_s
+            .iter()
+            .map(|d| format!("{:.1}", d * 1e6))
+            .collect();
+        println!(
+            "{:<16} {:>5} {:>6} {:>4} {:>14.3} {:>14.3} {:>10.2} {:>12}",
+            r.workload,
+            r.ranks,
+            r.protocol,
+            if r.jitter { "on" } else { "off" },
+            r.native_makespan_s * 1e3,
+            r.makespan_s * 1e3,
+            r.overhead_pct,
+            drain_us.join("/"),
+        );
+    }
+
+    // The Figure 5a shape, asserted so CI catches a regression in the
+    // comparison itself: at the largest world with jitter on, 2PC's
+    // overhead must exceed CC's on every workload, and the gap must be
+    // widest on the non-synchronizing broadcast pipeline.
+    let max_ranks = cfg.ranks.iter().copied().max().unwrap();
+    let overhead = |wl: &str, proto: &str, jitter: bool| -> f64 {
+        records
+            .iter()
+            .find(|r| {
+                r.workload == wl
+                    && r.protocol == proto
+                    && r.jitter == jitter
+                    && r.ranks == max_ranks
+            })
+            .map(|r| r.overhead_pct)
+            .expect("matrix cell present")
+    };
+    for wl in ["scf", "halo", "bcast_pipeline"] {
+        let cc = overhead(wl, "CC", true);
+        let tp = overhead(wl, "2PC", true);
+        assert!(
+            tp > cc,
+            "Figure 5a shape violated: {wl}: 2PC {tp:.2}% <= CC {cc:.2}%"
+        );
+        println!("{wl}: 2PC {tp:.2}% vs CC {cc:.2}% at {max_ranks} ranks (jitter on)");
+    }
+
+    let json = records_to_json(&records);
+    std::fs::write("BENCH_protocols.json", &json).expect("write BENCH_protocols.json");
+    println!(
+        "wrote BENCH_protocols.json ({} records, {} bytes)",
+        records.len(),
+        json.len()
+    );
+}
