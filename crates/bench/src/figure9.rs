@@ -1,0 +1,261 @@
+//! The Figure 9 harness: checkpoint/restart image I/O vs. node count.
+//!
+//! The paper's Figure 9 measures VASP checkpoint and restart times over
+//! 1–16 Perlmutter nodes on Lustre scratch: total bytes grow linearly with
+//! node count while the job-visible filesystem bandwidth saturates, so
+//! image time *grows* with scale. This harness reproduces that curve two
+//! ways:
+//!
+//! * a **model sweep** through [`netmodel::LustreModel`]: write/read time
+//!   for every (node count × per-rank image size) cell under the paper's
+//!   128-ranks-per-node packing;
+//! * a set of **measured images**: real captures of the random workload at
+//!   small world sizes, serialized through the image wire format, so the
+//!   sweep also reports how the dynamic runtime state (the part this
+//!   system actually stores — drained messages, communicator logs, pending
+//!   receives) scales with rank count.
+//!
+//! `examples/figure9_bench.rs` writes the result to `BENCH_figure9.json`
+//! next to the protocol-comparison bench's `BENCH_protocols.json`.
+
+use ckpt::{run_ckpt_world, CkptOptions, ResumeMode};
+use mpisim::{NetParams, VTime, WorldConfig};
+use netmodel::LustreModel;
+use workloads::{random_workload, RandomWorkloadCfg};
+
+/// One cell of the model sweep.
+#[derive(Debug, Clone)]
+pub struct Figure9ModelPoint {
+    /// Node count.
+    pub nodes: usize,
+    /// Total ranks (`nodes × ranks_per_node`).
+    pub ranks: usize,
+    /// Ranks per node.
+    pub ranks_per_node: usize,
+    /// Per-rank image size (bytes).
+    pub image_bytes_per_rank: u64,
+    /// Modeled checkpoint (write) time, seconds.
+    pub write_s: f64,
+    /// Modeled restart (read) time, seconds.
+    pub read_s: f64,
+}
+
+/// One actually-captured, actually-serialized image.
+#[derive(Debug, Clone)]
+pub struct Figure9MeasuredImage {
+    /// World size of the capture.
+    pub ranks: usize,
+    /// Serialized image size in bytes (wire format, header included).
+    pub serialized_bytes: usize,
+    /// Drained in-flight payload bytes inside the image.
+    pub in_flight_bytes: usize,
+    /// Cut events recorded in the image.
+    pub cut_events: usize,
+    /// Virtual capture time, seconds.
+    pub capture_clock_s: f64,
+}
+
+/// The full Figure 9 result.
+#[derive(Debug, Clone)]
+pub struct Figure9Report {
+    /// Model sweep cells, in (image size, nodes) order.
+    pub model: Vec<Figure9ModelPoint>,
+    /// Measured serialized images, by world size.
+    pub measured: Vec<Figure9MeasuredImage>,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct Figure9Config {
+    /// Node counts to sweep (the paper: 1–16).
+    pub node_counts: Vec<usize>,
+    /// Ranks per node (the paper: 128).
+    pub ranks_per_node: usize,
+    /// Per-rank image sizes to sweep (bytes).
+    pub image_bytes_per_rank: Vec<u64>,
+    /// World sizes for the measured-image captures.
+    pub measured_ranks: Vec<usize>,
+    /// Random-workload steps for the measured captures.
+    pub steps: usize,
+    /// The filesystem model.
+    pub model: LustreModel,
+}
+
+impl Default for Figure9Config {
+    fn default() -> Self {
+        Figure9Config {
+            node_counts: vec![1, 2, 4, 8, 16],
+            ranks_per_node: 128,
+            // 64 MiB, the paper's 398 MB VASP image, 1 GiB.
+            image_bytes_per_rank: vec![64 << 20, 398 * 1024 * 1024, 1 << 30],
+            measured_ranks: vec![2, 4, 8],
+            steps: 25,
+            model: LustreModel::perlmutter_scratch(),
+        }
+    }
+}
+
+/// Runs the sweep.
+pub fn figure9_report(cfg: &Figure9Config) -> Figure9Report {
+    let mut model = Vec::new();
+    for &bytes in &cfg.image_bytes_per_rank {
+        for &nodes in &cfg.node_counts {
+            let files_per_node = cfg.ranks_per_node;
+            model.push(Figure9ModelPoint {
+                nodes,
+                ranks: nodes * cfg.ranks_per_node,
+                ranks_per_node: cfg.ranks_per_node,
+                image_bytes_per_rank: bytes,
+                write_s: cfg.model.write_time(nodes, files_per_node, bytes),
+                read_s: cfg.model.read_time(nodes, files_per_node, bytes),
+            });
+        }
+    }
+
+    let mut measured = Vec::new();
+    for &n in &cfg.measured_ranks {
+        let wcfg =
+            WorldConfig::single_node(n).with_params(NetParams::slingshot11().without_jitter());
+        let wl = RandomWorkloadCfg::new(0xF19, cfg.steps);
+        let native = run_ckpt_world(wcfg.clone(), CkptOptions::native(), |r| {
+            random_workload(&wl, r)
+        });
+        let at = VTime::from_secs(native.makespan.as_secs() * 0.5);
+        let paced = wl.clone().with_pace_us(20);
+        let run = run_ckpt_world(
+            wcfg,
+            CkptOptions::one_checkpoint(at, ResumeMode::Continue),
+            |r| random_workload(&paced, r),
+        );
+        let Some(image) = run.checkpoints.first() else {
+            continue; // the trigger raced completion; skip the cell
+        };
+        measured.push(Figure9MeasuredImage {
+            ranks: n,
+            serialized_bytes: image.serialized_len(),
+            in_flight_bytes: image.in_flight_bytes(),
+            cut_events: image.cut_events.len(),
+            capture_clock_s: image.capture_clock().as_secs(),
+        });
+    }
+
+    Figure9Report { model, measured }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes the report as a JSON object (no external dependencies).
+pub fn figure9_to_json(report: &Figure9Report) -> String {
+    let model: Vec<String> = report
+        .model
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "    {{\"nodes\":{},\"ranks\":{},\"ranks_per_node\":{},",
+                    "\"image_bytes_per_rank\":{},\"write_s\":{},\"read_s\":{}}}"
+                ),
+                p.nodes,
+                p.ranks,
+                p.ranks_per_node,
+                p.image_bytes_per_rank,
+                json_f64(p.write_s),
+                json_f64(p.read_s),
+            )
+        })
+        .collect();
+    let measured: Vec<String> = report
+        .measured
+        .iter()
+        .map(|m| {
+            format!(
+                concat!(
+                    "    {{\"ranks\":{},\"serialized_bytes\":{},\"in_flight_bytes\":{},",
+                    "\"cut_events\":{},\"capture_clock_s\":{}}}"
+                ),
+                m.ranks,
+                m.serialized_bytes,
+                m.in_flight_bytes,
+                m.cut_events,
+                json_f64(m.capture_clock_s),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"model\": [\n{}\n  ],\n  \"measured\": [\n{}\n  ]\n}}\n",
+        model.join(",\n"),
+        measured.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_sweep_reproduces_figure9_shape() {
+        let cfg = Figure9Config {
+            measured_ranks: vec![], // model only; captures are covered below
+            ..Figure9Config::default()
+        };
+        let rep = figure9_report(&cfg);
+        assert_eq!(rep.model.len(), 15);
+        // For each image size, checkpoint time never improves with node
+        // count and grows over the full sweep — low node counts are
+        // injection-limited (flat), then the shared aggregate bandwidth
+        // binds and the curve climbs (the Figure 9 knee).
+        for bytes in cfg.image_bytes_per_rank {
+            let times: Vec<f64> = rep
+                .model
+                .iter()
+                .filter(|p| p.image_bytes_per_rank == bytes)
+                .map(|p| p.write_s)
+                .collect();
+            assert!(
+                times.windows(2).all(|w| w[0] <= w[1]),
+                "write time must not improve with node count: {times:?}"
+            );
+            assert!(
+                times.last().unwrap() > times.first().unwrap(),
+                "write time must grow over the sweep: {times:?}"
+            );
+        }
+        // Bigger images cost more at equal node count.
+        let at = |bytes: u64, nodes: usize| {
+            rep.model
+                .iter()
+                .find(|p| p.image_bytes_per_rank == bytes && p.nodes == nodes)
+                .unwrap()
+                .write_s
+        };
+        assert!(at(64 << 20, 8) < at(1 << 30, 8));
+    }
+
+    #[test]
+    fn measured_images_scale_with_rank_count_and_json_is_wellformed() {
+        let cfg = Figure9Config {
+            node_counts: vec![1, 2],
+            image_bytes_per_rank: vec![64 << 20],
+            measured_ranks: vec![2, 4],
+            steps: 20,
+            ..Figure9Config::default()
+        };
+        let rep = figure9_report(&cfg);
+        assert!(!rep.measured.is_empty(), "captures must fire");
+        for m in &rep.measured {
+            assert!(m.serialized_bytes > 0);
+            assert!(m.cut_events > 0);
+        }
+        let json = figure9_to_json(&rep);
+        assert!(json.contains("\"model\""));
+        assert!(json.contains("\"measured\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

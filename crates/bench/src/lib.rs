@@ -13,11 +13,14 @@
 //! the virtual drain latency per checkpoint and the modelled Lustre image
 //! write time.
 
-use ckpt::{run_ckpt_world, CcRank, CkptOptions, CkptTrigger, ResumeMode, StorageSpec};
+use ckpt::{run_ckpt_world, CcRank, CkptOptions, ResumeMode, StorageSpec, VirtualTimeSchedule};
 use mana_core::Protocol;
 use mpisim::{NetParams, VTime, WorldConfig};
 use netmodel::LustreModel;
 use workloads::{bcast_pipeline, halo_exchange, scf_loop};
+
+pub mod figure9;
+pub use figure9::{figure9_report, figure9_to_json, Figure9Config, Figure9Report};
 
 /// A workload in the protocol-comparison matrix. All are 2PC-compatible
 /// (no non-blocking collectives).
@@ -191,14 +194,15 @@ fn run_case_against(
     let iters = cfg.iters;
     let mut opts = CkptOptions::native().with_protocol(protocol);
     if cfg.with_checkpoint {
-        opts.triggers = vec![CkptTrigger {
-            at: VTime::from_secs(native.makespan_s * 0.5),
-            mode: ResumeMode::Continue,
-        }];
-        opts.storage = Some(StorageSpec {
-            model: LustreModel::perlmutter_scratch(),
-            image_bytes_per_rank: cfg.image_bytes_per_rank,
-        });
+        opts = opts
+            .with_policy(VirtualTimeSchedule::once(VTime::from_secs(
+                native.makespan_s * 0.5,
+            )))
+            .with_resume(ResumeMode::Continue)
+            .with_storage(StorageSpec {
+                model: LustreModel::perlmutter_scratch(),
+                image_bytes_per_rank: cfg.image_bytes_per_rank,
+            });
     }
     let run = run_ckpt_world(world_cfg(n, jitter), opts, |r| workload.run(iters, r));
     assert!(

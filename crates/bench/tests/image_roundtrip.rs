@@ -1,0 +1,154 @@
+//! Image round-trip coverage: a checkpoint serialized to bytes, written to
+//! disk, read back, and restored into a fresh world must continue
+//! *bit-identically* to the in-process `ResumeMode::Restart` path — under
+//! both the CC drain protocol and the 2PC trivial-barrier baseline — and
+//! tampered or truncated bytes must be rejected, never restored.
+
+use ckpt::{
+    restore_ckpt_world, run_ckpt_world, Checkpoint, CkptOptions, ImageError, RestoreConfig,
+    ResumeMode,
+};
+use mana_core::Protocol;
+use mpisim::{NetParams, VTime, WorldConfig};
+use workloads::{random_workload, RandomWorkloadCfg};
+
+fn cfg(n: usize) -> WorldConfig {
+    WorldConfig::single_node(n).with_params(NetParams::slingshot11().without_jitter())
+}
+
+fn wl(seed: u64, protocol: Protocol) -> RandomWorkloadCfg {
+    let wl = RandomWorkloadCfg::new(seed, 25);
+    if protocol == Protocol::TwoPhase {
+        wl.with_blocking_only()
+    } else {
+        wl
+    }
+}
+
+/// Captures one image mid-run (with an in-process restart, so the run
+/// itself exercises the reference restart path), returns the image and
+/// both result vectors: `(image, native, in_process_restart)`.
+fn capture(protocol: Protocol, n: usize, seed: u64) -> (Checkpoint, Vec<f64>, Vec<f64>) {
+    let base = wl(seed, protocol);
+    let native = run_ckpt_world(cfg(n), CkptOptions::native().with_protocol(protocol), |r| {
+        random_workload(&base, r)
+    });
+    let native_data: Vec<f64> = native.results().copied().collect();
+
+    let at = VTime::from_secs(native.makespan.as_secs() * 0.45);
+    let paced = base.clone().with_pace_us(20);
+    let run = run_ckpt_world(
+        cfg(n),
+        CkptOptions::one_checkpoint(at, ResumeMode::Restart).with_protocol(protocol),
+        |r| random_workload(&paced, r),
+    );
+    assert!(
+        run.failures.is_empty(),
+        "capture aborted: {:?}",
+        run.failures
+    );
+    assert_eq!(run.checkpoints.len(), 1, "checkpoint must fire mid-run");
+    let restarted: Vec<f64> = run.results().copied().collect();
+    assert_eq!(
+        restarted, native_data,
+        "in-process restart diverged before the image was even restored"
+    );
+    let image = run.checkpoints.into_iter().next().unwrap();
+    image
+        .verify()
+        .expect("captured cut must satisfy the oracle");
+    (image, native_data, restarted)
+}
+
+fn roundtrip_case(protocol: Protocol, n: usize, seed: u64) {
+    let (image, native_data, restarted) = capture(protocol, n, seed);
+
+    // serialize → deserialize: field-exact and byte-deterministic.
+    let bytes = image.to_bytes();
+    let decoded = Checkpoint::from_bytes(&bytes).expect("decode");
+    assert_eq!(decoded, image, "decoded image differs from the capture");
+    assert_eq!(decoded.to_bytes(), bytes, "re-serialization must be stable");
+
+    // disk round trip.
+    let path = std::env::temp_dir().join(format!(
+        "mana_roundtrip_{}_{}_{}.ckpt",
+        protocol.name(),
+        seed,
+        std::process::id()
+    ));
+    image.save_to(&path).expect("save");
+    let loaded = Checkpoint::load_from(&path).expect("load");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(loaded, image);
+
+    // restore: bit-identical continuation versus the in-process restart.
+    let base = wl(seed, protocol);
+    let restored = restore_ckpt_world(&loaded, RestoreConfig::same_packing(), |r| {
+        random_workload(&base, r)
+    });
+    let restored_data: Vec<f64> = restored.results().copied().collect();
+    assert_eq!(
+        restored_data,
+        restarted,
+        "{}: restore-from-image diverged from in-process restart",
+        protocol.name()
+    );
+    assert_eq!(restored_data, native_data);
+}
+
+#[test]
+fn cc_image_roundtrip_restores_bit_identically() {
+    for seed in [7, 40] {
+        roundtrip_case(Protocol::Cc, 4, seed);
+    }
+}
+
+#[test]
+fn cc_image_roundtrip_8_ranks() {
+    roundtrip_case(Protocol::Cc, 8, 13);
+}
+
+#[test]
+fn two_phase_image_roundtrip_restores_bit_identically() {
+    for seed in [3, 8] {
+        roundtrip_case(Protocol::TwoPhase, 4, seed);
+    }
+}
+
+/// A corrupted or truncated image must be rejected at parse time with a
+/// typed error; restore never sees it.
+#[test]
+fn corrupted_and_truncated_images_are_rejected() {
+    let (image, ..) = capture(Protocol::Cc, 4, 5);
+    let bytes = image.to_bytes();
+    assert!(Checkpoint::from_bytes(&bytes).is_ok());
+
+    // Flip one payload bit at a time across a spread of offsets: every
+    // tampering attempt must fail the checksum (or the magic/header
+    // checks for the first bytes).
+    for offset in (0..bytes.len()).step_by(bytes.len() / 13 + 1) {
+        let mut bad = bytes.clone();
+        bad[offset] ^= 0x04;
+        assert!(
+            Checkpoint::from_bytes(&bad).is_err(),
+            "flipped bit at offset {offset} went undetected"
+        );
+    }
+
+    // Truncation at any boundary is detected.
+    for keep in [0, 7, 19, bytes.len() / 2, bytes.len() - 1] {
+        let err = Checkpoint::from_bytes(&bytes[..keep]).unwrap_err();
+        assert!(
+            matches!(err, ImageError::Truncated { .. } | ImageError::BadMagic),
+            "truncation to {keep} bytes produced {err:?}"
+        );
+    }
+
+    // An image from a future format version is refused, not misparsed.
+    let mut future = bytes.clone();
+    future[8] = 0xFE;
+    assert!(matches!(
+        Checkpoint::from_bytes(&future),
+        Err(ImageError::UnsupportedVersion(_))
+    ));
+}

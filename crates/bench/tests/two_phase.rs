@@ -1,7 +1,7 @@
 //! End-to-end tests for the 2PC trivial-barrier protocol and its capture
 //! state, plus the p2p drain-stall watchdog (ROADMAP item 5).
 
-use ckpt::{run_ckpt_world, CkptOptions, CkptTrigger, DrainError, ResumeMode, StorageSpec};
+use ckpt::{run_ckpt_world, CkptOptions, DrainError, ResumeMode, StorageSpec, VirtualTimeSchedule};
 use mana_core::{DrainEvent, Protocol};
 use mpisim::dtype::{decode_f64, encode_f64};
 use mpisim::{DType, NetParams, ReduceOp, VTime, WorldConfig};
@@ -13,11 +13,11 @@ fn cfg(n: usize) -> WorldConfig {
     WorldConfig::single_node(n).with_params(NetParams::slingshot11().without_jitter())
 }
 
-fn opts_2pc(triggers: Vec<CkptTrigger>) -> CkptOptions {
-    CkptOptions {
-        triggers,
-        ..CkptOptions::native().with_protocol(Protocol::TwoPhase)
-    }
+fn opts_2pc(schedule: Vec<VTime>, resume: ResumeMode) -> CkptOptions {
+    CkptOptions::native()
+        .with_protocol(Protocol::TwoPhase)
+        .with_policy(VirtualTimeSchedule::new(schedule))
+        .with_resume(resume)
 }
 
 /// 2PC checkpoint + continue and + restart must preserve the data of an
@@ -28,14 +28,18 @@ fn two_phase_checkpoint_continue_and_restart_bit_identical() {
     for n in [2, 4] {
         for (seed, mode) in [(3u64, ResumeMode::Continue), (4u64, ResumeMode::Restart)] {
             let wl = RandomWorkloadCfg::new(seed, 25).with_blocking_only();
-            let native = run_ckpt_world(cfg(n), opts_2pc(vec![]), |r| random_workload(&wl, r));
+            let native = run_ckpt_world(
+                cfg(n),
+                CkptOptions::native().with_protocol(Protocol::TwoPhase),
+                |r| random_workload(&wl, r),
+            );
             let native_data: Vec<f64> = native.results().copied().collect();
 
             let at = VTime::from_secs(native.makespan.as_secs() * 0.4);
             let paced = RandomWorkloadCfg::new(seed, 25)
                 .with_blocking_only()
                 .with_pace_us(20);
-            let run = run_ckpt_world(cfg(n), opts_2pc(vec![CkptTrigger { at, mode }]), |r| {
+            let run = run_ckpt_world(cfg(n), opts_2pc(vec![at], mode), |r| {
                 random_workload(&paced, r)
             });
             let got: Vec<f64> = run.results().copied().collect();
@@ -69,16 +73,10 @@ fn pending_barrier_and_counters_round_trip_across_restart() {
     // posting (the stop-the-world phase 1).
     let run = run_ckpt_world(
         cfg(n),
-        opts_2pc(vec![
-            CkptTrigger {
-                at: VTime::from_secs(60.05e-6),
-                mode: ResumeMode::Restart,
-            },
-            CkptTrigger {
-                at: VTime::from_secs(150e-6),
-                mode: ResumeMode::Continue,
-            },
-        ]),
+        opts_2pc(
+            vec![VTime::from_secs(60.05e-6), VTime::from_secs(150e-6)],
+            ResumeMode::Restart,
+        ),
         |r| {
             let world = r.world_vcomm();
             if r.rank() == 0 {

@@ -18,12 +18,12 @@
 //! the coordinator returns a typed [`DrainError::P2pStall`] instead of
 //! hanging — the request is withdrawn and the application continues.
 
-use crate::image::{Checkpoint, DrainedMsg};
+use crate::image::{CaptureOrigin, Checkpoint, DrainedMsg};
 use crate::session::Session;
 use mana_core::{CkptPhase, DrainEvent, Ggid, Protocol, RankState, RuntimeCapture};
 use mpisim::msg::InFlightMsg;
 use mpisim::types::CommId;
-use mpisim::{SavedMsg, VTime, World};
+use mpisim::{SavedMsg, VTime, World, WorldConfig};
 use netmodel::LustreModel;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering::SeqCst;
@@ -330,6 +330,10 @@ impl Coordinator {
             epoch: world.epoch,
             n_ranks: control.n_ranks,
             protocol: sh.protocol,
+            origin: CaptureOrigin {
+                ranks_per_node: sh.cfg.ranks_per_node,
+                params: sh.cfg.params.clone(),
+            },
             request_clock,
             initial_targets: initial,
             final_targets,
@@ -350,46 +354,7 @@ impl Coordinator {
                     world.deposit_raw(self.rebuild_msg(&d.saved, comm), d.arrival);
                 }
             }
-            ResumeMode::Restart => {
-                let live: Vec<usize> = (0..control.n_ranks)
-                    .filter(|&i| control.ranks[i].state() != RankState::Finished)
-                    .collect();
-                let new_world = World::with_epoch(sh.cfg.clone(), world.epoch + 1);
-                *sh.world.lock() = Arc::clone(&new_world);
-                control.world_epoch.fetch_add(1, SeqCst);
-                control.replayed_count.store(0, SeqCst);
-                for &i in &live {
-                    // The image is authoritative: restore the captured
-                    // call counters and the pending trivial barrier before
-                    // the rank rebuilds itself from the fresh lower half —
-                    // previously both were silently dropped (counters
-                    // reverted to thread-local leftovers, an in-progress
-                    // trivial barrier was never re-issued).
-                    let (pending_barrier, counters) = ckpt.rank_restore_state(i);
-                    *control.ranks[i].pending_barrier.lock() = pending_barrier;
-                    *control.ranks[i].restored_counters.lock() = Some(counters);
-                    *control.ranks[i].new_world.lock() = Some(Arc::clone(&new_world));
-                }
-                control.set_phase(CkptPhase::Resuming);
-                while (control.replayed_count.load(SeqCst) as usize) < live.len() {
-                    std::thread::sleep(POLL);
-                }
-                for d in &in_flight {
-                    let dst = d.saved.dst_world;
-                    if control.ranks[dst].state() == RankState::Finished {
-                        continue; // a finished rank will never receive it
-                    }
-                    let comm = {
-                        let map = control.ranks[dst].replayed_comms.lock();
-                        *map.get(&d.saved.vcomm).unwrap_or_else(|| {
-                            panic!("rank {dst} replay lost vcomm {}", d.saved.vcomm)
-                        })
-                    };
-                    // The payload is already local after restart: available
-                    // immediately.
-                    new_world.deposit_raw(self.rebuild_msg(&d.saved, comm), VTime::ZERO);
-                }
-            }
+            ResumeMode::Restart => self.resume_restart(&ckpt, sh.cfg.clone()),
         }
         control.resume_gen.fetch_add(1, SeqCst);
         control.clear_pending();
@@ -397,6 +362,56 @@ impl Coordinator {
         sh.bus.reset();
         sh.trace.push(DrainEvent::Resumed);
         Ok(ckpt)
+    }
+
+    /// The restart resume path, shared by in-process
+    /// [`ResumeMode::Restart`] and restore-from-image
+    /// ([`crate::restore_ckpt_world`]): builds a fresh lower half from
+    /// `cfg` (which may carry a *different* `ranks_per_node` — Perlmutter-
+    /// style re-packing at restart), installs the image's per-rank restore
+    /// state, waits for every live rank to replay its communicator log,
+    /// and re-deposits the drained in-flight messages.
+    pub(crate) fn resume_restart(&self, ckpt: &Checkpoint, cfg: WorldConfig) {
+        let sh = &self.sh;
+        let control = &sh.control;
+        assert_eq!(
+            cfg.n_ranks, ckpt.n_ranks,
+            "restart must preserve the number of ranks"
+        );
+        let live: Vec<usize> = (0..control.n_ranks)
+            .filter(|&i| control.ranks[i].state() != RankState::Finished)
+            .collect();
+        let new_world = World::with_epoch(cfg, ckpt.epoch + 1);
+        *sh.world.lock() = Arc::clone(&new_world);
+        control.world_epoch.fetch_add(1, SeqCst);
+        control.replayed_count.store(0, SeqCst);
+        for &i in &live {
+            // The image is authoritative: restore the captured call
+            // counters and the pending trivial barrier before the rank
+            // rebuilds itself from the fresh lower half.
+            let (pending_barrier, counters) = ckpt.rank_restore_state(i);
+            *control.ranks[i].pending_barrier.lock() = pending_barrier;
+            *control.ranks[i].restored_counters.lock() = Some(counters);
+            *control.ranks[i].new_world.lock() = Some(Arc::clone(&new_world));
+        }
+        control.set_phase(CkptPhase::Resuming);
+        while (control.replayed_count.load(SeqCst) as usize) < live.len() {
+            std::thread::sleep(POLL);
+        }
+        for d in &ckpt.in_flight {
+            let dst = d.saved.dst_world;
+            if control.ranks[dst].state() == RankState::Finished {
+                continue; // a finished rank will never receive it
+            }
+            let comm = {
+                let map = control.ranks[dst].replayed_comms.lock();
+                *map.get(&d.saved.vcomm)
+                    .unwrap_or_else(|| panic!("rank {dst} replay lost vcomm {}", d.saved.vcomm))
+            };
+            // The payload is already local after restart: available
+            // immediately.
+            new_world.deposit_raw(self.rebuild_msg(&d.saved, comm), VTime::ZERO);
+        }
     }
 
     /// Image write/read times for this checkpoint under the configured
@@ -411,19 +426,9 @@ impl Coordinator {
         let Some(st) = &self.storage else {
             return (0.0, 0.0);
         };
-        let rpn = self.sh.cfg.ranks_per_node.max(1);
-        let nodes = n_ranks.div_ceil(rpn).max(1);
-        let files_per_node = rpn.min(n_ranks).max(1);
-        // Dynamic runtime state rides along with the fixed memory image.
-        let dynamic: usize = in_flight
-            .iter()
-            .map(|d| d.saved.payload.len())
-            .sum::<usize>()
-            + captures
-                .iter()
-                .map(|c| 64 * (c.comm_log.len() + c.pending_recvs.len()))
-                .sum::<usize>();
-        let bytes_per_file = st.image_bytes_per_rank + (dynamic / n_ranks.max(1)) as u64;
+        let rpn = self.sh.cfg.ranks_per_node;
+        let (nodes, files_per_node, bytes_per_file) =
+            image_file_layout(st, n_ranks, rpn, in_flight, captures);
         let w = st.model.write_time(nodes, files_per_node, bytes_per_file);
         let r = match mode {
             ResumeMode::Restart => st.model.read_time(nodes, files_per_node, bytes_per_file),
@@ -537,6 +542,35 @@ impl Coordinator {
             && self.sh.bus.all_empty()
             && !control.any_in_collective()
     }
+}
+
+/// The on-storage layout of one image set under a block-packed topology:
+/// `(nodes, files_per_node, bytes_per_file)`. The dynamic runtime state
+/// (drained payloads, communicator logs, pending receives) rides along
+/// with the fixed per-rank memory image. Shared by the capture-side write
+/// charge and the restore-side read charge — restore may re-pack onto a
+/// different `ranks_per_node`, which changes this layout and therefore the
+/// modeled read time (the paper's Figure 9 effect).
+pub(crate) fn image_file_layout(
+    st: &StorageSpec,
+    n_ranks: usize,
+    ranks_per_node: usize,
+    in_flight: &[DrainedMsg],
+    captures: &[RuntimeCapture],
+) -> (usize, usize, u64) {
+    let rpn = ranks_per_node.max(1);
+    let nodes = n_ranks.div_ceil(rpn).max(1);
+    let files_per_node = rpn.min(n_ranks).max(1);
+    let dynamic: usize = in_flight
+        .iter()
+        .map(|d| d.saved.payload.len())
+        .sum::<usize>()
+        + captures
+            .iter()
+            .map(|c| 64 * (c.comm_log.len() + c.pending_recvs.len()))
+            .sum::<usize>();
+    let bytes_per_file = st.image_bytes_per_rank + (dynamic / n_ranks.max(1)) as u64;
+    (nodes, files_per_node, bytes_per_file)
 }
 
 /// Wall-clock no-progress watchdog over an opaque fingerprint.

@@ -1,15 +1,101 @@
 //! The checkpoint image: everything captured at a safe state, in
 //! restart-stable terms, plus the evidence the safe-cut oracle consumes.
+//!
+//! The image is the unit of the system (as in MANA and the DMTCP proxy
+//! line of work): it is a first-class, serializable artifact. An image can
+//! be written to disk with [`Checkpoint::save_to`], read back in a
+//! different process with [`Checkpoint::load_from`], and restored onto a
+//! differently-packed set of nodes with
+//! [`crate::restore_ckpt_world`]. The wire format carries a versioned
+//! header and an FNV-1a integrity checksum; a flipped bit or a truncated
+//! file is rejected with a typed [`ImageError`] instead of producing a
+//! silently-wrong restore.
 
-use mana_core::{verify_safe_cut, ExecEvent, Ggid, Protocol, RuntimeCapture, Violation};
-use mpisim::{SavedMsg, VTime};
+use crate::wire::{fnv1a64, Dec, DecodeError, Enc};
+use mana_core::capture::PendingRecv;
+use mana_core::{
+    verify_safe_cut, CallCounters, CommOp, CommOpRecord, ExecEvent, Ggid, Node, Protocol,
+    RankState, RuntimeCapture, SeqTable, VComm, Violation,
+};
+use mpisim::types::CommId;
+use mpisim::{SavedMsg, SrcSel, TagSel, VTime};
+use netmodel::NetParams;
 use std::collections::HashMap;
+use std::path::Path;
+
+/// Magic bytes opening every serialized image.
+pub const IMAGE_MAGIC: [u8; 8] = *b"MANACKPT";
+
+/// Current image wire-format version.
+pub const IMAGE_VERSION: u32 = 1;
+
+/// Why a serialized image was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The buffer does not start with [`IMAGE_MAGIC`] — not an image.
+    BadMagic,
+    /// The image was written by an unknown format version.
+    UnsupportedVersion(u32),
+    /// The buffer is shorter than its header claims.
+    Truncated {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The payload checksum does not match — the image was corrupted.
+    ChecksumMismatch,
+    /// The payload decoded inconsistently; names the field that failed.
+    Malformed(&'static str),
+    /// Reading or writing the image file failed.
+    Io(String),
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::BadMagic => write!(f, "not a checkpoint image (bad magic)"),
+            ImageError::UnsupportedVersion(v) => {
+                write!(f, "unsupported image format version {v}")
+            }
+            ImageError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "truncated image: header promises {expected} bytes, got {got}"
+                )
+            }
+            ImageError::ChecksumMismatch => write!(f, "image checksum mismatch (corrupted)"),
+            ImageError::Malformed(what) => write!(f, "malformed image: bad {what}"),
+            ImageError::Io(e) => write!(f, "image I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl From<DecodeError> for ImageError {
+    fn from(what: DecodeError) -> Self {
+        ImageError::Malformed(what)
+    }
+}
+
+/// The world the image was captured from: enough to rebuild an equivalent
+/// replay world and to know the packing it ran under. Restoring may choose
+/// a *different* `ranks_per_node` — the captured group data is
+/// topology-independent — and only the modeled timing changes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureOrigin {
+    /// Ranks per node of the captured run.
+    pub ranks_per_node: usize,
+    /// Network cost parameters of the captured run.
+    pub params: NetParams,
+}
 
 /// One drained in-flight message. The restart-stable part is `saved`
 /// (virtualized communicator id, payload, channel sequence); `arrival` is
 /// kept only so the checkpoint-and-continue path can re-deposit with the
 /// original timing.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DrainedMsg {
     /// The message in restart-stable form.
     pub saved: SavedMsg,
@@ -19,7 +105,7 @@ pub struct DrainedMsg {
 
 /// A captured checkpoint: per-rank runtime state, drained in-flight
 /// messages, and the cut evidence for the safe-cut verifier.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     /// Lower-half generation the image was captured from.
     pub epoch: u64,
@@ -27,6 +113,9 @@ pub struct Checkpoint {
     pub n_ranks: usize,
     /// Coordination protocol the image was captured under.
     pub protocol: Protocol,
+    /// The topology and network the capture ran under (restore replays the
+    /// pre-cut prefix against an equivalent world, then may re-pack).
+    pub origin: CaptureOrigin,
     /// Minimum published virtual clock when the request was issued; the
     /// gap to [`Checkpoint::capture_clock`] is the virtual drain latency
     /// (the paper's Figure 7 measurement).
@@ -88,16 +177,550 @@ impl Checkpoint {
     /// The per-rank state a restart resume must re-install from this image
     /// (the coordinator threads it back through the control plane):
     /// `(pending trivial barrier, call counters)`.
-    pub fn rank_restore_state(&self, rank: usize) -> (Option<(u64, u64)>, mana_core::CallCounters) {
+    pub fn rank_restore_state(&self, rank: usize) -> (Option<(u64, u64)>, CallCounters) {
         let c = &self.captures[rank];
         (c.pending_barrier, c.counters)
     }
+
+    // ------------------------------------------------------------------
+    // Serialization
+    // ------------------------------------------------------------------
+
+    /// Serializes the image: an 8-byte magic, a `u32` format version, a
+    /// `u64` payload length, a `u64` FNV-1a payload checksum, then the
+    /// payload. Deterministic: the same image always yields the same bytes
+    /// (maps are written sorted by key).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = Enc::new();
+        p.u64(self.epoch);
+        p.usize(self.n_ranks);
+        p.u8(protocol_code(self.protocol));
+        p.usize(self.origin.ranks_per_node);
+        enc_params(&mut p, &self.origin.params);
+        p.f64(self.request_clock.as_secs());
+        enc_target_map(&mut p, &self.initial_targets);
+        enc_target_map(&mut p, &self.final_targets);
+        enc_target_map(&mut p, &self.achieved);
+        p.usize(self.captures.len());
+        for c in &self.captures {
+            enc_capture(&mut p, c);
+        }
+        p.usize(self.in_flight.len());
+        for m in &self.in_flight {
+            enc_drained(&mut p, m);
+        }
+        p.usize(self.cut_events.len());
+        for e in &self.cut_events {
+            enc_event(&mut p, e);
+        }
+        p.f64(self.io_write_secs);
+        p.f64(self.io_read_secs);
+        let payload = p.into_bytes();
+
+        let mut out = Enc::new();
+        out.raw(&IMAGE_MAGIC);
+        out.u32(IMAGE_VERSION);
+        out.usize(payload.len());
+        out.u64(fnv1a64(&payload));
+        out.raw(&payload);
+        out.into_bytes()
+    }
+
+    /// Parses a serialized image, validating magic, version, length, and
+    /// checksum before touching the payload.
+    pub fn from_bytes(buf: &[u8]) -> Result<Checkpoint, ImageError> {
+        const HEADER: usize = 8 + 4 + 8 + 8;
+        if buf.len() < HEADER {
+            if !buf.starts_with(&IMAGE_MAGIC[..buf.len().min(8)]) {
+                return Err(ImageError::BadMagic);
+            }
+            return Err(ImageError::Truncated {
+                expected: HEADER,
+                got: buf.len(),
+            });
+        }
+        if buf[..8] != IMAGE_MAGIC {
+            return Err(ImageError::BadMagic);
+        }
+        let mut h = Dec::new(&buf[8..HEADER]);
+        let version = h.u32("version").expect("sized above");
+        if version != IMAGE_VERSION {
+            return Err(ImageError::UnsupportedVersion(version));
+        }
+        let payload_len = h.usize("payload length").expect("sized above");
+        let checksum = h.u64("checksum").expect("sized above");
+        if buf.len() < HEADER + payload_len {
+            return Err(ImageError::Truncated {
+                expected: HEADER + payload_len,
+                got: buf.len(),
+            });
+        }
+        let payload = &buf[HEADER..HEADER + payload_len];
+        if fnv1a64(payload) != checksum {
+            return Err(ImageError::ChecksumMismatch);
+        }
+
+        let mut d = Dec::new(payload);
+        let epoch = d.u64("epoch")?;
+        let n_ranks = d.usize("n_ranks")?;
+        let protocol = protocol_from_code(d.u8("protocol")?)?;
+        let origin = CaptureOrigin {
+            ranks_per_node: d.usize("ranks_per_node")?,
+            params: dec_params(&mut d)?,
+        };
+        let request_clock = dec_vtime(&mut d, "request clock")?;
+        let initial_targets = dec_target_map(&mut d, "initial targets")?;
+        let final_targets = dec_target_map(&mut d, "final targets")?;
+        let achieved = dec_target_map(&mut d, "achieved map")?;
+        let n_caps = d.seq_len("capture count")?;
+        if n_caps != n_ranks {
+            return Err(ImageError::Malformed("capture count vs n_ranks"));
+        }
+        let mut captures = Vec::with_capacity(n_caps);
+        for _ in 0..n_caps {
+            captures.push(dec_capture(&mut d)?);
+        }
+        let n_msgs = d.seq_len("in-flight count")?;
+        let mut in_flight = Vec::with_capacity(n_msgs);
+        for _ in 0..n_msgs {
+            in_flight.push(dec_drained(&mut d)?);
+        }
+        let n_events = d.seq_len("cut-event count")?;
+        let mut cut_events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            cut_events.push(dec_event(&mut d)?);
+        }
+        let io_write_secs = d.f64("io_write_secs")?;
+        let io_read_secs = d.f64("io_read_secs")?;
+        if !d.finished() {
+            return Err(ImageError::Malformed("trailing bytes"));
+        }
+        // Range validation: the checksum authenticates accidental
+        // corruption, not a hand-edited file, and every rank index in the
+        // image is later used to address per-rank control state. Reject
+        // out-of-range indices here so a tampered image fails with a
+        // typed error instead of an out-of-bounds panic mid-restore.
+        if n_ranks == 0 || origin.ranks_per_node == 0 {
+            return Err(ImageError::Malformed("world shape"));
+        }
+        for (i, c) in captures.iter().enumerate() {
+            if c.rank != i {
+                return Err(ImageError::Malformed("capture rank vs position"));
+            }
+        }
+        for m in &in_flight {
+            if m.saved.src_world >= n_ranks || m.saved.dst_world >= n_ranks {
+                return Err(ImageError::Malformed("in-flight message endpoint"));
+            }
+        }
+        for e in &cut_events {
+            if e.rank >= n_ranks || e.members.iter().any(|&r| r >= n_ranks) {
+                return Err(ImageError::Malformed("cut-event rank"));
+            }
+        }
+        Ok(Checkpoint {
+            epoch,
+            n_ranks,
+            protocol,
+            origin,
+            request_clock,
+            initial_targets,
+            final_targets,
+            achieved,
+            captures,
+            in_flight,
+            cut_events,
+            io_write_secs,
+            io_read_secs,
+        })
+    }
+
+    /// Writes the serialized image to `path`; returns the byte count.
+    pub fn save_to(&self, path: impl AsRef<Path>) -> Result<usize, ImageError> {
+        let bytes = self.to_bytes();
+        std::fs::write(path, &bytes).map_err(|e| ImageError::Io(e.to_string()))?;
+        Ok(bytes.len())
+    }
+
+    /// Reads and parses an image from `path`.
+    pub fn load_from(path: impl AsRef<Path>) -> Result<Checkpoint, ImageError> {
+        let bytes = std::fs::read(path).map_err(|e| ImageError::Io(e.to_string()))?;
+        Checkpoint::from_bytes(&bytes)
+    }
+
+    /// Size of the serialized runtime state in bytes (one `to_bytes` pass).
+    pub fn serialized_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Field codecs
+// ----------------------------------------------------------------------
+
+fn protocol_code(p: Protocol) -> u8 {
+    match p {
+        Protocol::Native => 0,
+        Protocol::Cc => 1,
+        Protocol::TwoPhase => 2,
+    }
+}
+
+fn protocol_from_code(c: u8) -> Result<Protocol, ImageError> {
+    match c {
+        0 => Ok(Protocol::Native),
+        1 => Ok(Protocol::Cc),
+        2 => Ok(Protocol::TwoPhase),
+        _ => Err(ImageError::Malformed("protocol code")),
+    }
+}
+
+fn enc_params(e: &mut Enc, p: &NetParams) {
+    e.f64(p.alpha_intra);
+    e.f64(p.alpha_inter);
+    e.f64(p.beta_intra);
+    e.f64(p.beta_inter);
+    e.f64(p.gamma_reduce);
+    e.f64(p.send_overhead);
+    e.f64(p.jitter_sigma);
+    e.f64(p.wrapper_overhead);
+    e.f64(p.poll_overhead);
+    e.u64(p.jitter_seed);
+}
+
+fn dec_params(d: &mut Dec) -> Result<NetParams, ImageError> {
+    Ok(NetParams {
+        alpha_intra: d.f64("alpha_intra")?,
+        alpha_inter: d.f64("alpha_inter")?,
+        beta_intra: d.f64("beta_intra")?,
+        beta_inter: d.f64("beta_inter")?,
+        gamma_reduce: d.f64("gamma_reduce")?,
+        send_overhead: d.f64("send_overhead")?,
+        jitter_sigma: d.f64("jitter_sigma")?,
+        wrapper_overhead: d.f64("wrapper_overhead")?,
+        poll_overhead: d.f64("poll_overhead")?,
+        jitter_seed: d.u64("jitter_seed")?,
+    })
+}
+
+fn dec_vtime(d: &mut Dec, what: DecodeError) -> Result<VTime, ImageError> {
+    let s = d.f64(what)?;
+    if !s.is_finite() || s < 0.0 {
+        return Err(ImageError::Malformed(what));
+    }
+    Ok(VTime::from_secs(s))
+}
+
+fn enc_target_map(e: &mut Enc, m: &HashMap<Ggid, u64>) {
+    let mut entries: Vec<(u64, u64)> = m.iter().map(|(g, v)| (g.0, *v)).collect();
+    entries.sort_unstable();
+    e.usize(entries.len());
+    for (g, v) in entries {
+        e.u64(g);
+        e.u64(v);
+    }
+}
+
+fn dec_target_map(d: &mut Dec, what: DecodeError) -> Result<HashMap<Ggid, u64>, ImageError> {
+    let n = d.seq_len(what)?;
+    let mut m = HashMap::with_capacity(n);
+    for _ in 0..n {
+        m.insert(Ggid(d.u64(what)?), d.u64(what)?);
+    }
+    Ok(m)
+}
+
+fn enc_usize_list(e: &mut Enc, v: &[usize]) {
+    e.usize(v.len());
+    for &x in v {
+        e.usize(x);
+    }
+}
+
+fn dec_usize_list(d: &mut Dec, what: DecodeError) -> Result<Vec<usize>, ImageError> {
+    let n = d.seq_len(what)?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(d.usize(what)?);
+    }
+    Ok(v)
+}
+
+fn enc_counters(e: &mut Enc, c: &CallCounters) {
+    e.u64(c.coll_blocking);
+    e.u64(c.coll_nonblocking);
+    e.u64(c.p2p_sends);
+    e.u64(c.p2p_recvs);
+    e.u64(c.completions);
+    e.u64(c.comm_mgmt);
+    e.u64(c.drain_updates_sent);
+    e.u64(c.drain_updates_recv);
+    e.u64(c.trivial_barriers);
+}
+
+fn dec_counters(d: &mut Dec) -> Result<CallCounters, ImageError> {
+    Ok(CallCounters {
+        coll_blocking: d.u64("coll_blocking")?,
+        coll_nonblocking: d.u64("coll_nonblocking")?,
+        p2p_sends: d.u64("p2p_sends")?,
+        p2p_recvs: d.u64("p2p_recvs")?,
+        completions: d.u64("completions")?,
+        comm_mgmt: d.u64("comm_mgmt")?,
+        drain_updates_sent: d.u64("drain_updates_sent")?,
+        drain_updates_recv: d.u64("drain_updates_recv")?,
+        trivial_barriers: d.u64("trivial_barriers")?,
+    })
+}
+
+fn enc_src(e: &mut Enc, s: SrcSel) {
+    match s {
+        SrcSel::Any => e.u8(0),
+        SrcSel::Rank(r) => {
+            e.u8(1);
+            e.usize(r);
+        }
+    }
+}
+
+fn dec_src(d: &mut Dec) -> Result<SrcSel, ImageError> {
+    match d.u8("source selector")? {
+        0 => Ok(SrcSel::Any),
+        1 => Ok(SrcSel::Rank(d.usize("source rank")?)),
+        _ => Err(ImageError::Malformed("source selector tag")),
+    }
+}
+
+fn enc_tag(e: &mut Enc, t: TagSel) {
+    match t {
+        TagSel::Any => e.u8(0),
+        TagSel::Tag(v) => {
+            e.u8(1);
+            e.u32(v);
+        }
+    }
+}
+
+fn dec_tag(d: &mut Dec) -> Result<TagSel, ImageError> {
+    match d.u8("tag selector")? {
+        0 => Ok(TagSel::Any),
+        1 => Ok(TagSel::Tag(d.u32("tag value")?)),
+        _ => Err(ImageError::Malformed("tag selector tag")),
+    }
+}
+
+fn enc_comm_op(e: &mut Enc, r: &CommOpRecord) {
+    match &r.op {
+        CommOp::Dup { parent } => {
+            e.u8(0);
+            e.u64(parent.0);
+        }
+        CommOp::Split { parent, color, key } => {
+            e.u8(1);
+            e.u64(parent.0);
+            e.i64(*color);
+            e.i64(*key);
+        }
+        CommOp::Create { parent, members } => {
+            e.u8(2);
+            e.u64(parent.0);
+            enc_usize_list(e, members);
+        }
+    }
+    match r.result {
+        None => e.u8(0),
+        Some(v) => {
+            e.u8(1);
+            e.u64(v.0);
+        }
+    }
+}
+
+fn dec_comm_op(d: &mut Dec) -> Result<CommOpRecord, ImageError> {
+    let op = match d.u8("comm-op tag")? {
+        0 => CommOp::Dup {
+            parent: VComm(d.u64("dup parent")?),
+        },
+        1 => CommOp::Split {
+            parent: VComm(d.u64("split parent")?),
+            color: d.i64("split color")?,
+            key: d.i64("split key")?,
+        },
+        2 => CommOp::Create {
+            parent: VComm(d.u64("create parent")?),
+            members: dec_usize_list(d, "create members")?,
+        },
+        _ => return Err(ImageError::Malformed("comm-op tag")),
+    };
+    let result = match d.u8("comm-op result tag")? {
+        0 => None,
+        1 => Some(VComm(d.u64("comm-op result")?)),
+        _ => return Err(ImageError::Malformed("comm-op result tag")),
+    };
+    Ok(CommOpRecord { op, result })
+}
+
+fn enc_capture(e: &mut Enc, c: &RuntimeCapture) {
+    e.usize(c.rank);
+    e.u8(c.state as u8);
+    e.f64(c.clock.as_secs());
+    let mut seq: Vec<(u64, u64, &[usize])> = c
+        .seq_table
+        .iter()
+        .map(|(g, entry)| (g.0, entry.seq, entry.members.as_slice()))
+        .collect();
+    seq.sort_unstable_by_key(|&(g, ..)| g);
+    e.usize(seq.len());
+    for (g, s, members) in seq {
+        e.u64(g);
+        e.u64(s);
+        enc_usize_list(e, members);
+    }
+    e.usize(c.comm_log.len());
+    for r in &c.comm_log {
+        enc_comm_op(e, r);
+    }
+    e.usize(c.pending_recvs.len());
+    for p in &c.pending_recvs {
+        e.u64(p.vreq);
+        e.u64(p.vcomm);
+        enc_src(e, p.src);
+        enc_tag(e, p.tag);
+    }
+    match c.pending_barrier {
+        None => e.u8(0),
+        Some((vc, ord)) => {
+            e.u8(1);
+            e.u64(vc);
+            e.u64(ord);
+        }
+    }
+    enc_counters(e, &c.counters);
+    let mut lower: Vec<(u64, u64)> = c.vcomm_to_lower.iter().map(|(v, c)| (*v, c.0)).collect();
+    lower.sort_unstable();
+    e.usize(lower.len());
+    for (v, id) in lower {
+        e.u64(v);
+        e.u64(id);
+    }
+    let mut members: Vec<(u64, &Vec<usize>)> =
+        c.vcomm_members.iter().map(|(v, m)| (*v, m)).collect();
+    members.sort_unstable_by_key(|&(v, _)| v);
+    e.usize(members.len());
+    for (v, m) in members {
+        e.u64(v);
+        enc_usize_list(e, m);
+    }
+}
+
+fn dec_capture(d: &mut Dec) -> Result<RuntimeCapture, ImageError> {
+    let rank = d.usize("capture rank")?;
+    let state = match d.u8("capture state")? {
+        s @ 0..=6 => RankState::from_u8(s),
+        _ => return Err(ImageError::Malformed("capture state")),
+    };
+    let clock = dec_vtime(d, "capture clock")?;
+    let n_seq = d.seq_len("seq-table length")?;
+    let mut seq_table = SeqTable::new();
+    for _ in 0..n_seq {
+        let g = Ggid(d.u64("seq-table ggid")?);
+        let s = d.u64("seq-table seq")?;
+        let members = dec_usize_list(d, "seq-table members")?;
+        seq_table.restore(g, s, members);
+    }
+    let n_log = d.seq_len("comm-log length")?;
+    let mut comm_log = Vec::with_capacity(n_log);
+    for _ in 0..n_log {
+        comm_log.push(dec_comm_op(d)?);
+    }
+    let n_pend = d.seq_len("pending-recv count")?;
+    let mut pending_recvs = Vec::with_capacity(n_pend);
+    for _ in 0..n_pend {
+        pending_recvs.push(PendingRecv {
+            vreq: d.u64("pending-recv vreq")?,
+            vcomm: d.u64("pending-recv vcomm")?,
+            src: dec_src(d)?,
+            tag: dec_tag(d)?,
+        });
+    }
+    let pending_barrier = match d.u8("pending-barrier tag")? {
+        0 => None,
+        1 => Some((
+            d.u64("pending-barrier vcomm")?,
+            d.u64("pending-barrier ordinal")?,
+        )),
+        _ => return Err(ImageError::Malformed("pending-barrier tag")),
+    };
+    let counters = dec_counters(d)?;
+    let n_lower = d.seq_len("vcomm-lower count")?;
+    let mut vcomm_to_lower = HashMap::with_capacity(n_lower);
+    for _ in 0..n_lower {
+        vcomm_to_lower.insert(d.u64("vcomm id")?, CommId(d.u64("lower comm id")?));
+    }
+    let n_members = d.seq_len("vcomm-member count")?;
+    let mut vcomm_members = HashMap::with_capacity(n_members);
+    for _ in 0..n_members {
+        let v = d.u64("vcomm member key")?;
+        vcomm_members.insert(v, dec_usize_list(d, "vcomm member list")?);
+    }
+    Ok(RuntimeCapture {
+        rank,
+        state,
+        clock,
+        seq_table,
+        comm_log,
+        pending_recvs,
+        pending_barrier,
+        counters,
+        vcomm_to_lower,
+        vcomm_members,
+    })
+}
+
+fn enc_drained(e: &mut Enc, m: &DrainedMsg) {
+    e.usize(m.saved.src_world);
+    e.usize(m.saved.dst_world);
+    e.u64(m.saved.vcomm);
+    e.u32(m.saved.tag);
+    e.bytes(&m.saved.payload);
+    e.u64(m.saved.seq);
+    e.f64(m.arrival.as_secs());
+}
+
+fn dec_drained(d: &mut Dec) -> Result<DrainedMsg, ImageError> {
+    Ok(DrainedMsg {
+        saved: SavedMsg {
+            src_world: d.usize("msg src")?,
+            dst_world: d.usize("msg dst")?,
+            vcomm: d.u64("msg vcomm")?,
+            tag: d.u32("msg tag")?,
+            payload: bytes::Bytes::from(d.bytes("msg payload")?.to_vec()),
+            seq: d.u64("msg seq")?,
+        },
+        arrival: dec_vtime(d, "msg arrival")?,
+    })
+}
+
+fn enc_event(e: &mut Enc, ev: &ExecEvent) {
+    e.usize(ev.rank);
+    e.u64(ev.node.ggid.0);
+    e.u64(ev.node.seq);
+    enc_usize_list(e, &ev.members);
+}
+
+fn dec_event(d: &mut Dec) -> Result<ExecEvent, ImageError> {
+    Ok(ExecEvent {
+        rank: d.usize("event rank")?,
+        node: Node {
+            ggid: Ggid(d.u64("event ggid")?),
+            seq: d.u64("event seq")?,
+        },
+        members: dec_usize_list(d, "event members")?,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mana_core::Node;
 
     fn ev(rank: usize, g: u64, seq: u64, members: &[usize]) -> ExecEvent {
         ExecEvent {
@@ -112,6 +735,10 @@ mod tests {
             epoch: 0,
             n_ranks: 2,
             protocol: Protocol::Cc,
+            origin: CaptureOrigin {
+                ranks_per_node: 2,
+                params: NetParams::ideal(),
+            },
             request_clock: VTime::ZERO,
             initial_targets: HashMap::new(),
             final_targets: HashMap::new(),
@@ -146,5 +773,181 @@ mod tests {
         assert!(c.targets_exactly_reached());
         c.final_targets.insert(Ggid(1), 3);
         assert!(!c.targets_exactly_reached());
+    }
+
+    fn rich_ckpt() -> Checkpoint {
+        let mut seq_table = SeqTable::new();
+        seq_table.restore(Ggid(9), 4, vec![0, 1]);
+        seq_table.restore(Ggid(3), 1, vec![0]);
+        let mut c = ckpt(
+            vec![ev(0, 1, 1, &[0, 1]), ev(1, 1, 1, &[0, 1])],
+            &[(1, 1), (9, 4)],
+        );
+        c.epoch = 2;
+        c.initial_targets.insert(Ggid(1), 1);
+        c.final_targets.insert(Ggid(9), 4);
+        c.request_clock = VTime::from_micros(3.5);
+        c.io_write_secs = 1.25;
+        c.io_read_secs = 0.75;
+        c.origin.params = NetParams::slingshot11();
+        for rank in 0..2 {
+            c.captures.push(RuntimeCapture {
+                rank,
+                state: if rank == 0 {
+                    RankState::RecvParked
+                } else {
+                    RankState::InTrivialBarrier
+                },
+                clock: VTime::from_micros(11.0 + rank as f64),
+                seq_table: seq_table.clone(),
+                comm_log: vec![
+                    CommOpRecord {
+                        op: CommOp::Split {
+                            parent: VComm(0),
+                            color: -1,
+                            key: 7,
+                        },
+                        result: None,
+                    },
+                    CommOpRecord {
+                        op: CommOp::Create {
+                            parent: VComm(0),
+                            members: vec![1, 0],
+                        },
+                        result: Some(VComm(2)),
+                    },
+                    CommOpRecord {
+                        op: CommOp::Dup { parent: VComm(0) },
+                        result: Some(VComm(3)),
+                    },
+                ],
+                pending_recvs: vec![PendingRecv {
+                    vreq: 5,
+                    vcomm: 0,
+                    src: SrcSel::Any,
+                    tag: TagSel::Tag(17),
+                }],
+                pending_barrier: (rank == 1).then_some((0, 6)),
+                counters: CallCounters {
+                    coll_blocking: 10,
+                    p2p_recvs: 3,
+                    drain_updates_sent: 2,
+                    ..Default::default()
+                },
+                vcomm_to_lower: [(0u64, CommId(0)), (2, CommId(4))].into_iter().collect(),
+                vcomm_members: [(0u64, vec![0, 1]), (2, vec![1, 0])].into_iter().collect(),
+            });
+        }
+        c.in_flight.push(DrainedMsg {
+            saved: SavedMsg {
+                src_world: 1,
+                dst_world: 0,
+                vcomm: 2,
+                tag: 17,
+                payload: bytes::Bytes::from_static(b"drained payload"),
+                seq: 3,
+            },
+            arrival: VTime::from_micros(9.0),
+        });
+        c
+    }
+
+    #[test]
+    fn serialization_round_trips_exactly() {
+        let c = rich_ckpt();
+        let bytes = c.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back, c);
+        // Deterministic: re-serializing the decoded image reproduces the
+        // exact byte stream.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let c = rich_ckpt();
+        let path = std::env::temp_dir().join(format!("mana_img_test_{}.ckpt", std::process::id()));
+        let n = c.save_to(&path).expect("save");
+        assert!(n > 0);
+        let back = Checkpoint::load_from(&path).expect("load");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn corrupted_images_are_rejected() {
+        let c = rich_ckpt();
+        let bytes = c.to_bytes();
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(Checkpoint::from_bytes(&bad), Err(ImageError::BadMagic));
+
+        // Unsupported version.
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        assert_eq!(
+            Checkpoint::from_bytes(&bad),
+            Err(ImageError::UnsupportedVersion(99))
+        );
+
+        // Truncation.
+        let cut = &bytes[..bytes.len() - 7];
+        assert!(matches!(
+            Checkpoint::from_bytes(cut),
+            Err(ImageError::Truncated { .. })
+        ));
+
+        // A single flipped payload bit.
+        let mut bad = bytes.clone();
+        let mid = 28 + (bad.len() - 28) / 2;
+        bad[mid] ^= 0x10;
+        assert_eq!(
+            Checkpoint::from_bytes(&bad),
+            Err(ImageError::ChecksumMismatch)
+        );
+
+        // Pristine bytes still parse.
+        assert!(Checkpoint::from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_indices_are_rejected_not_panicked() {
+        // A tampered-but-checksummed image (re-encoded after editing) with
+        // an out-of-world message endpoint must fail with a typed error.
+        let mut c = rich_ckpt();
+        c.in_flight[0].saved.dst_world = 99;
+        assert_eq!(
+            Checkpoint::from_bytes(&c.to_bytes()),
+            Err(ImageError::Malformed("in-flight message endpoint"))
+        );
+
+        let mut c = rich_ckpt();
+        c.cut_events[0].rank = 7;
+        assert_eq!(
+            Checkpoint::from_bytes(&c.to_bytes()),
+            Err(ImageError::Malformed("cut-event rank"))
+        );
+
+        let mut c = rich_ckpt();
+        c.captures.swap(0, 1);
+        assert_eq!(
+            Checkpoint::from_bytes(&c.to_bytes()),
+            Err(ImageError::Malformed("capture rank vs position"))
+        );
+
+        let mut c = rich_ckpt();
+        c.origin.ranks_per_node = 0;
+        assert_eq!(
+            Checkpoint::from_bytes(&c.to_bytes()),
+            Err(ImageError::Malformed("world shape"))
+        );
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let e = Checkpoint::load_from("/nonexistent/dir/image.ckpt").unwrap_err();
+        assert!(matches!(e, ImageError::Io(_)));
     }
 }

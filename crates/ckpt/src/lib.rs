@@ -1,32 +1,96 @@
-//! # ckpt — the end-to-end checkpoint/restart orchestrator
+//! # ckpt — checkpoint/restore orchestration around first-class images
 //!
-//! Ties the paper's pieces into a running system:
+//! The unit of this crate is the **checkpoint image** ([`Checkpoint`]): a
+//! serializable, integrity-checked artifact capturing a consistent cut of
+//! an MPI-like execution — sequence tables, communicator logs, pending
+//! receives and trivial barriers, drained in-flight messages, call
+//! counters, and the cut evidence the safe-cut oracle consumes. Capture
+//! and restore are decoupled: *when* to capture is a pluggable
+//! [`TriggerPolicy`]; *what to do with the image* is the caller's choice —
+//! keep running, restart in-process, or serialize the image and restore it
+//! later, elsewhere, onto a differently-packed set of nodes.
+//!
+//! ## Quickstart: capture, save to disk, restore elsewhere
+//!
+//! ```no_run
+//! use ckpt::{
+//!     restore_ckpt_world, run_ckpt_world, Checkpoint, CkptOptions, RestoreConfig, ResumeMode,
+//! };
+//! use mpisim::{VTime, WorldConfig};
+//!
+//! let cfg = WorldConfig::multi_node(8, 4); // 8 ranks, 4 per node
+//! let program = |r: &mut ckpt::CcRank| {
+//!     let w = r.world_vcomm();
+//!     r.allreduce_f64(w, &[r.rank() as f64], mpisim::ReduceOp::Sum)[0]
+//! };
+//!
+//! // Capture mid-run and keep going; the image lands in the report.
+//! let opts = CkptOptions::one_checkpoint(VTime::from_micros(5.0), ResumeMode::Continue);
+//! let run = run_ckpt_world(cfg, opts, program);
+//!
+//! // The image is a first-class artifact: bytes on disk, with a versioned
+//! // header and checksum. A flipped bit is rejected at load time.
+//! run.checkpoints[0].save_to("job.ckpt").unwrap();
+//!
+//! // Later / elsewhere: load it back and restore onto a different node
+//! // packing (8 ranks spread 1-per-node). Results are bit-identical to an
+//! // in-process restart; only the modeled timing changes.
+//! let image = Checkpoint::load_from("job.ckpt").unwrap();
+//! let restored = restore_ckpt_world(
+//!     &image,
+//!     RestoreConfig::same_packing().with_ranks_per_node(1),
+//!     program,
+//! );
+//! # let _ = restored;
+//! ```
+//!
+//! ## The pieces
 //!
 //! * [`rank::CcRank`] — the per-rank wrapper layer: every MPI-like call
 //!   interposes on the CC drain protocol (sequence gate, overshoot raises,
 //!   entry parking — paper Algorithms 2 and 3) and virtualizes handles so
-//!   they survive restart.
+//!   they survive restart. Under restore it also re-executes the captured
+//!   program up to the cut and parks there.
+//! * [`policy`] — [`TriggerPolicy`] and the built-in policies: an explicit
+//!   [`VirtualTimeSchedule`], a production-style [`PeriodicInterval`], and
+//!   [`EveryNCollectives`] driven by the ranks' published call counters.
+//!   All virtual-time comparisons run in integer nanoseconds.
 //! * [`coordinator::Coordinator`] — issues checkpoint requests through
 //!   [`mana_core::CkptControl`], computes `TARGET[]` as the global max of
 //!   snapshotted `SEQ[]` tables (Algorithm 1), supervises the drain to
-//!   quiescence, captures a [`image::Checkpoint`] (sequence tables,
-//!   communicator logs, pending receives, drained in-flight messages), and
-//!   resumes — continuing on the same lower half or restarting into a
-//!   freshly built [`mpisim::World`] via [`mpisim::Ctx::attach_world`].
-//! * [`runner::run_ckpt_world`] — the harness entry point: one thread per
-//!   rank plus trigger supervision, returning every captured checkpoint for
-//!   oracle verification with [`mana_core::verify_safe_cut`].
+//!   quiescence, captures a [`Checkpoint`], and resumes. Continue,
+//!   in-process restart, and restore-from-image all funnel through the
+//!   same resume machinery.
+//! * [`image`] — the [`Checkpoint`] itself plus its wire format:
+//!   [`Checkpoint::to_bytes`] / [`Checkpoint::from_bytes`] /
+//!   [`Checkpoint::save_to`] / [`Checkpoint::load_from`], versioned and
+//!   checksummed ([`image::ImageError`] enumerates the rejections).
+//! * [`runner::run_ckpt_world`] — one thread per rank plus policy
+//!   supervision, returning every captured image for oracle verification
+//!   with [`mana_core::verify_safe_cut`].
+//! * [`restore::restore_ckpt_world`] — rebuilds a world from an image
+//!   (optionally re-packed via [`RestoreConfig`]), replays the program to
+//!   the cut, cross-checks the replayed state against the image, and
+//!   continues with the image authoritative.
 
 pub mod bus;
 pub mod coordinator;
 pub mod image;
+pub mod policy;
 pub mod rank;
+pub mod restore;
 pub mod runner;
 pub mod session;
+pub mod wire;
 
 pub use bus::{TargetUpdate, UpdateBus};
 pub use coordinator::{Coordinator, DrainError, ResumeMode, StorageSpec};
-pub use image::{Checkpoint, DrainedMsg};
+pub use image::{CaptureOrigin, Checkpoint, DrainedMsg, ImageError, IMAGE_MAGIC, IMAGE_VERSION};
+pub use policy::{
+    EveryNCollectives, NeverTrigger, PeriodicInterval, TriggerObservation, TriggerPolicy,
+    VirtualTimeSchedule,
+};
 pub use rank::CcRank;
-pub use runner::{run_ckpt_world, CkptOptions, CkptRunReport, CkptTrigger};
+pub use restore::{restore_ckpt_world, RestoreConfig};
+pub use runner::{run_ckpt_world, CkptOptions, CkptRunReport};
 pub use session::Session;

@@ -1,0 +1,283 @@
+//! Pluggable checkpoint trigger policies.
+//!
+//! The supervision loop of [`crate::run_ckpt_world`] no longer consumes a
+//! hard-coded list of virtual-time triggers; it polls a [`TriggerPolicy`]
+//! with a cheap [`TriggerObservation`] snapshot of global progress and
+//! fires a checkpoint whenever the policy says so. Three policies cover
+//! the paper's experimental needs: an explicit virtual-time schedule
+//! (the old behavior), a periodic virtual-time interval (production-style
+//! "checkpoint every N minutes"), and an every-N-collectives policy driven
+//! by the ranks' published [`mana_core::CallCounters`] totals.
+//!
+//! All progress comparisons are made in **integer nanoseconds** against the
+//! clocks the ranks publish ([`mana_core::RankCtl::clock_ns`]): the
+//! published `u64` clock is never round-tripped through `f64` seconds on
+//! its way to a comparison (doing so — as the old trigger loop did —
+//! silently collapses distinct clock values above ~2^53 ns, about 104
+//! days of virtual time). Thresholds supplied as [`VTime`] are converted
+//! to nanoseconds once at policy construction; their granularity is
+//! bounded by `VTime`'s own `f64` representation.
+
+use mpisim::VTime;
+
+/// A cheap snapshot of global progress, handed to
+/// [`TriggerPolicy::should_fire`] on every supervision poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriggerObservation {
+    /// Minimum published virtual clock over non-finished ranks, in
+    /// nanoseconds. Zero when every rank has finished.
+    pub min_clock_ns: u64,
+    /// Minimum published collective-call total (blocking + non-blocking
+    /// initiations, the [`mana_core::CallCounters::coll_total`] mirror)
+    /// over non-finished ranks.
+    pub min_coll_calls: u64,
+    /// Checkpoints successfully captured so far in this run.
+    pub checkpoints_taken: usize,
+}
+
+/// Decides when the supervision loop fires a checkpoint.
+///
+/// `should_fire` is polled a few thousand times per wall second; it must be
+/// cheap and must return `true` at most once per intended checkpoint (the
+/// loop fires immediately on `true`). `exhausted` ends supervision: once it
+/// returns `true`, no further polls happen and the loop only waits for the
+/// ranks to finish.
+pub trait TriggerPolicy: Send {
+    /// Whether to fire a checkpoint right now.
+    fn should_fire(&mut self, obs: &TriggerObservation) -> bool;
+
+    /// Whether this policy will never fire again.
+    fn exhausted(&self) -> bool;
+}
+
+/// Converts a virtual time to the integer-nanosecond domain the rank
+/// clocks are published in.
+fn vtime_to_ns(t: VTime) -> u64 {
+    (t.as_secs() * 1e9) as u64
+}
+
+/// Never checkpoints (the native / measurement-baseline policy).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverTrigger;
+
+impl TriggerPolicy for NeverTrigger {
+    fn should_fire(&mut self, _obs: &TriggerObservation) -> bool {
+        false
+    }
+
+    fn exhausted(&self) -> bool {
+        true
+    }
+}
+
+/// Fires once at each virtual-time threshold, in order — the successor of
+/// the old `Vec<CkptTrigger>` API.
+#[derive(Debug, Clone)]
+pub struct VirtualTimeSchedule {
+    thresholds_ns: Vec<u64>,
+    next: usize,
+}
+
+impl VirtualTimeSchedule {
+    /// A schedule firing at each of `times` (converted once to integer
+    /// nanoseconds; the comparisons never round-trip through `f64`).
+    pub fn new(times: impl IntoIterator<Item = VTime>) -> Self {
+        VirtualTimeSchedule {
+            thresholds_ns: times.into_iter().map(vtime_to_ns).collect(),
+            next: 0,
+        }
+    }
+
+    /// A single checkpoint at `at`.
+    pub fn once(at: VTime) -> Self {
+        Self::new([at])
+    }
+}
+
+impl TriggerPolicy for VirtualTimeSchedule {
+    fn should_fire(&mut self, obs: &TriggerObservation) -> bool {
+        match self.thresholds_ns.get(self.next) {
+            Some(&t) if obs.min_clock_ns >= t => {
+                self.next += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next >= self.thresholds_ns.len()
+    }
+}
+
+/// Fires every `interval` of virtual time, up to `limit` checkpoints —
+/// the production "periodic checkpointing" policy.
+#[derive(Debug, Clone)]
+pub struct PeriodicInterval {
+    interval_ns: u64,
+    limit: usize,
+    fired: usize,
+}
+
+impl PeriodicInterval {
+    /// Fire at `interval`, `2·interval`, … up to `limit` times.
+    ///
+    /// # Panics
+    /// Panics on a zero interval (the loop would fire continuously).
+    pub fn new(interval: VTime, limit: usize) -> Self {
+        let interval_ns = vtime_to_ns(interval);
+        assert!(interval_ns > 0, "periodic interval must be positive");
+        PeriodicInterval {
+            interval_ns,
+            limit,
+            fired: 0,
+        }
+    }
+}
+
+impl TriggerPolicy for PeriodicInterval {
+    fn should_fire(&mut self, obs: &TriggerObservation) -> bool {
+        if self.fired >= self.limit {
+            return false;
+        }
+        // Integer multiply cannot overflow meaningfully here: `fired` is
+        // bounded by `limit`, and saturating keeps a pathological
+        // (interval, limit) pair from wrapping into an early fire.
+        let due = self.interval_ns.saturating_mul(self.fired as u64 + 1);
+        if obs.min_clock_ns >= due {
+            self.fired += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.fired >= self.limit
+    }
+}
+
+/// Fires once every `n` collective calls (per the slowest rank's published
+/// [`mana_core::CallCounters`] total), up to `limit` checkpoints — the
+/// "checkpoint every N iterations" policy of collective-dominated codes.
+#[derive(Debug, Clone)]
+pub struct EveryNCollectives {
+    n: u64,
+    limit: usize,
+    fired: usize,
+}
+
+impl EveryNCollectives {
+    /// Fire when every rank has made `n`, `2·n`, … collective calls, at
+    /// most `limit` times.
+    ///
+    /// # Panics
+    /// Panics on `n == 0`.
+    pub fn new(n: u64, limit: usize) -> Self {
+        assert!(n > 0, "collective-count stride must be positive");
+        EveryNCollectives { n, limit, fired: 0 }
+    }
+}
+
+impl TriggerPolicy for EveryNCollectives {
+    fn should_fire(&mut self, obs: &TriggerObservation) -> bool {
+        if self.fired >= self.limit {
+            return false;
+        }
+        let due = self.n.saturating_mul(self.fired as u64 + 1);
+        if obs.min_coll_calls >= due {
+            self.fired += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.fired >= self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(min_clock_ns: u64, min_coll_calls: u64, taken: usize) -> TriggerObservation {
+        TriggerObservation {
+            min_clock_ns,
+            min_coll_calls,
+            checkpoints_taken: taken,
+        }
+    }
+
+    #[test]
+    fn never_is_exhausted_immediately() {
+        let mut p = NeverTrigger;
+        assert!(p.exhausted());
+        assert!(!p.should_fire(&obs(u64::MAX, u64::MAX, 0)));
+    }
+
+    #[test]
+    fn schedule_fires_in_order_once_each() {
+        let mut p = VirtualTimeSchedule::new([VTime::from_micros(1.0), VTime::from_micros(5.0)]);
+        assert!(!p.exhausted());
+        assert!(!p.should_fire(&obs(500, 0, 0)));
+        assert!(p.should_fire(&obs(1_000, 0, 0)));
+        // Second threshold not yet due, even though the first has passed.
+        assert!(!p.should_fire(&obs(1_200, 0, 1)));
+        assert!(p.should_fire(&obs(6_000, 0, 1)));
+        assert!(p.exhausted());
+        assert!(!p.should_fire(&obs(u64::MAX, 0, 2)));
+    }
+
+    #[test]
+    fn clock_comparison_never_round_trips_through_f64() {
+        // 2^53 + 1 ns is not representable as f64 nanoseconds; the old
+        // trigger loop converted the published u64 clock to f64 seconds
+        // before comparing and collapsed clock values in this range. The
+        // comparison itself must distinguish one nanosecond below the
+        // threshold from the threshold. (Thresholds *supplied* as VTime
+        // are still f64-granular; this pins the clock side only.)
+        let big = (1u64 << 53) + 2;
+        let mut p = VirtualTimeSchedule {
+            thresholds_ns: vec![big],
+            next: 0,
+        };
+        assert!(!p.should_fire(&obs(big - 1, 0, 0)));
+        assert!(p.should_fire(&obs(big, 0, 0)));
+    }
+
+    #[test]
+    fn periodic_fires_every_interval() {
+        let mut p = PeriodicInterval::new(VTime::from_micros(10.0), 3);
+        assert!(!p.should_fire(&obs(9_999, 0, 0)));
+        assert!(p.should_fire(&obs(10_000, 0, 0)));
+        assert!(!p.should_fire(&obs(15_000, 0, 1)));
+        assert!(p.should_fire(&obs(20_000, 0, 1)));
+        assert!(p.should_fire(&obs(31_000, 0, 2)));
+        assert!(p.exhausted());
+        assert!(!p.should_fire(&obs(u64::MAX, 0, 3)));
+    }
+
+    #[test]
+    fn every_n_collectives_counts_strides() {
+        let mut p = EveryNCollectives::new(25, 2);
+        assert!(!p.should_fire(&obs(0, 24, 0)));
+        assert!(p.should_fire(&obs(0, 25, 0)));
+        assert!(!p.should_fire(&obs(0, 49, 1)));
+        assert!(p.should_fire(&obs(0, 50, 1)));
+        assert!(p.exhausted());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = PeriodicInterval::new(VTime::ZERO, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_stride_rejected() {
+        let _ = EveryNCollectives::new(0, 1);
+    }
+}

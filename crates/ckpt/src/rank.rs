@@ -133,13 +133,57 @@ impl CcRank {
     /// Cheap per-interposition servicing: publish the clock, pick up
     /// targets and updates when a checkpoint is pending, clean up after a
     /// finished one.
-    /// Publishes the rank's virtual clock for the coordinator's trigger
-    /// scheduling.
+    /// Publishes the rank's virtual clock and collective-call total for
+    /// the coordinator's trigger policies.
     fn publish_clock(&self) {
-        self.sh.control.ranks[self.rank].clock_ns.store(
+        let ctl = &self.sh.control.ranks[self.rank];
+        ctl.clock_ns.store(
             (self.ctx.clock().as_secs() * 1e9) as u64,
             std::sync::atomic::Ordering::Relaxed,
         );
+        ctl.coll_calls.store(
+            self.counters.coll_total(),
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Restore-from-image replay
+    // ------------------------------------------------------------------
+
+    /// Whether this rank has reached its restore cut: the session is a
+    /// restore replay, the cut has not been taken yet, and the rank's
+    /// application-visible progress (call counters + `SEQ[]` table) equals
+    /// the image's capture exactly. Every interposition call advances a
+    /// counter at entry, so the pair identifies the capture site uniquely
+    /// along the deterministic re-execution.
+    fn restore_cut_due(&self) -> bool {
+        let Some(plan) = &self.sh.restore else {
+            return false;
+        };
+        if plan.reached[self.rank].load(SeqCst) {
+            return false;
+        }
+        let spec = &plan.cuts[self.rank];
+        if spec.finished() || !spec.counters.same_app_calls(&self.counters) {
+            return false;
+        }
+        *self.sh.control.ranks[self.rank].seq_mirror.lock() == spec.seq_table
+    }
+
+    /// Parks this rank at its restore cut: marks the cut reached and runs
+    /// the ordinary quiesce/capture/resume machinery — the restore driver
+    /// plays the coordinator's role (cross-checks the replayed capture
+    /// against the image, installs the restored world, re-deposits the
+    /// image's in-flight messages).
+    fn park_for_restore(&mut self, state: RankState) {
+        let sh = Arc::clone(&self.sh);
+        sh.restore
+            .as_ref()
+            .expect("cut implies restore plan")
+            .reached[self.rank]
+            .store(true, SeqCst);
+        self.quiesce(state);
     }
 
     fn service_control(&mut self) {
@@ -243,6 +287,12 @@ impl CcRank {
             Protocol::Native => {}
         }
         loop {
+            // Restore replay: the image captured this rank parked at this
+            // wrapper entry (counters include this call, `SEQ[]` does not).
+            if self.restore_cut_due() {
+                self.park_for_restore(RankState::Quiesced);
+                continue; // re-resolve against the restored lower half
+            }
             self.service_control();
             let sh = Arc::clone(&self.sh);
             let (comm, ggid) = {
@@ -310,6 +360,13 @@ impl CcRank {
         // *before* initiating its trivial barrier stops right here — its
         // peers' barriers then (correctly) cannot complete.
         loop {
+            // Restore replay: the image captured this rank stopped at
+            // phase 1 (this call counted, its trivial barrier not yet
+            // posted).
+            if self.restore_cut_due() {
+                self.park_for_restore(RankState::Quiesced);
+                continue;
+            }
             self.service_control();
             if sh.control.is_pending() && sh.control.phase() == CkptPhase::Quiescing {
                 self.quiesce(RankState::Quiesced);
@@ -340,6 +397,21 @@ impl CcRank {
             };
             if done {
                 break;
+            }
+            // Restore replay: the image captured this rank parked inside
+            // this trivial barrier (barrier posted and first Test counted);
+            // park the same way — the barrier is re-issued against the
+            // restored lower half exactly as an in-process restart does.
+            if self.restore_cut_due() {
+                *sh.control.ranks[self.rank].pending_barrier.lock() = Some((vc.0, ordinal));
+                self.tb_req = Some(req);
+                self.park_for_restore(RankState::InTrivialBarrier);
+                req = self
+                    .tb_req
+                    .take()
+                    .expect("trivial barrier re-issued at restore");
+                *sh.control.ranks[self.rank].pending_barrier.lock() = None;
+                continue;
             }
             self.service_control();
             if sh.control.is_pending() && sh.control.phase() == CkptPhase::Quiescing {
@@ -492,7 +564,7 @@ impl CcRank {
         }
         let sh = Arc::clone(&self.sh);
         let ctl = &sh.control.ranks[self.rank];
-        *ctl.capture_slot.lock() = Some(self.build_capture());
+        *ctl.capture_slot.lock() = Some(self.build_capture(state));
         let my_gen = sh.control.resume_gen.load(SeqCst);
         ctl.set_state(state);
         sh.trace.push(DrainEvent::Quiesced(self.rank));
@@ -513,6 +585,14 @@ impl CcRank {
             }
         }
         if restarted {
+            // Restore-from-image: the image's captured clock is
+            // authoritative for the restored timeline (replay accounting
+            // may drift from a capture taken mid-drain); adopt it before
+            // re-posting, so re-issued operations carry the right entry
+            // times.
+            if let Some(plan) = &sh.restore {
+                self.ctx.set_clock(plan.cuts[self.rank].clock);
+            }
             self.repost_pending_recvs();
             self.repost_trivial_barrier();
         }
@@ -528,25 +608,31 @@ impl CcRank {
         sh.control.ranks[self.rank].set_state(RankState::Running);
     }
 
-    /// Builds this rank's runtime capture.
-    fn build_capture(&self) -> RuntimeCapture {
+    /// Builds this rank's runtime capture, recording the park state it is
+    /// being captured in.
+    fn build_capture(&self, state: RankState) -> RuntimeCapture {
         let ctl = &self.sh.control.ranks[self.rank];
+        let mut pending_recvs: Vec<PendingRecv> = self
+            .vreqs
+            .pending_recvs()
+            .into_iter()
+            .map(|(v, vc, src, tag)| PendingRecv {
+                vreq: v.0,
+                vcomm: vc.0,
+                src,
+                tag,
+            })
+            .collect();
+        // The request table iterates in hash order; sort so captures (and
+        // their serialized images) are deterministic.
+        pending_recvs.sort_by_key(|p| p.vreq);
         RuntimeCapture {
             rank: self.rank,
+            state,
             clock: self.ctx.clock(),
             seq_table: ctl.seq_mirror.lock().clone(),
             comm_log: self.vcomms.log().to_vec(),
-            pending_recvs: self
-                .vreqs
-                .pending_recvs()
-                .into_iter()
-                .map(|(v, vc, src, tag)| PendingRecv {
-                    vreq: v.0,
-                    vcomm: vc.0,
-                    src,
-                    tag,
-                })
-                .collect(),
+            pending_recvs,
             pending_barrier: *ctl.pending_barrier.lock(),
             counters: self.counters,
             vcomm_to_lower: self.vcomms.lower_map(),
@@ -640,12 +726,9 @@ impl CcRank {
     /// Runner hook: publishes the final capture and the `Finished` state.
     pub(crate) fn finish(&mut self) {
         let sh = Arc::clone(&self.sh);
-        let cap = self.build_capture();
+        let cap = self.build_capture(RankState::Finished);
+        self.publish_clock();
         let ctl = &sh.control.ranks[self.rank];
-        ctl.clock_ns.store(
-            (self.ctx.clock().as_secs() * 1e9) as u64,
-            std::sync::atomic::Ordering::Relaxed,
-        );
         *ctl.capture_slot.lock() = Some(cap);
         ctl.targets_met.store(true, SeqCst);
         ctl.set_state(RankState::Finished);
@@ -880,11 +963,26 @@ impl CcRank {
             match self.vreqs.take(v) {
                 None => return Completion::empty(),
                 Some(VReqState::Ready(c)) => return c,
-                Some(VReqState::Active(mut req, kind)) => {
+                Some(VReqState::Active(req, kind)) => {
+                    let is_recv = matches!(kind, VReqKind::Recv { .. });
+                    // Restore replay: the image captured this rank parked
+                    // inside this wait. The check runs *before*
+                    // `try_complete` — replay wall-clock interleaving may
+                    // have made the operation completable earlier than the
+                    // capture did, and the cut must win that race.
+                    if self.restore_cut_due() {
+                        self.vreqs.put_back(v, VReqState::Active(req, kind));
+                        self.park_for_restore(if is_recv {
+                            RankState::RecvParked
+                        } else {
+                            RankState::Quiesced
+                        });
+                        continue;
+                    }
+                    let mut req = req;
                     if let Some(c) = self.ctx.try_complete(&mut req) {
                         return c;
                     }
-                    let is_recv = matches!(kind, VReqKind::Recv { .. });
                     self.vreqs.put_back(v, VReqState::Active(req, kind));
                     self.service_control();
                     let sh = Arc::clone(&self.sh);
@@ -906,6 +1004,11 @@ impl CcRank {
     /// cooperating with a quiesce in progress.
     pub fn test(&mut self, v: VReq) -> Option<Completion> {
         self.counters.completions += 1;
+        // Restore replay: the image captured this rank quiesced at this
+        // test call.
+        if self.restore_cut_due() {
+            self.park_for_restore(RankState::Quiesced);
+        }
         self.service_control();
         let sh = Arc::clone(&self.sh);
         if sh.control.is_pending() && sh.control.phase() == CkptPhase::Quiescing {

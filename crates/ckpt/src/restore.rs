@@ -1,0 +1,282 @@
+//! Restore a serialized [`Checkpoint`] image into a fresh world — the
+//! "restart elsewhere" half of the capture/restore API.
+//!
+//! A real MANA restart restores the upper half from a memory dump and
+//! replays runtime state from the image. This simulation has no memory
+//! dump: application state lives on the rank closures' stacks, so the
+//! upper half is rebuilt by **deterministically re-executing** the same
+//! program (`f`) up to the captured cut — the stand-in for loading the
+//! dump. The replay runs against a world equivalent to the capture's
+//! ([`crate::image::CaptureOrigin`]), each rank parks exactly where the
+//! image says it was captured (located by its application-visible call
+//! counters and `SEQ[]` table — see [`crate::session::CutSpec`]), and the
+//! replayed runtime state is cross-checked against the image field by
+//! field. From the cut onward the image is authoritative: the restored
+//! lower half is built from the *restore* configuration (which may pack
+//! ranks onto nodes differently — the paper's Perlmutter re-packing),
+//! communicators are rebuilt from the image's captured groups, the
+//! image's drained in-flight messages are re-deposited, pending receives
+//! and trivial barriers are re-posted, the image's counters and clocks are
+//! adopted, and the modeled image read-back is charged under the *new*
+//! topology.
+//!
+//! Continuation is bit-identical to an in-process
+//! [`crate::ResumeMode::Restart`]; only the modeled timing changes with
+//! the packing.
+
+use crate::coordinator::{image_file_layout, Coordinator, StorageSpec};
+use crate::image::Checkpoint;
+use crate::rank::CcRank;
+use crate::runner::{run_session_threads, CkptRunReport};
+use crate::session::{RestorePlan, Session};
+use mana_core::{RankState, RuntimeCapture};
+use mpisim::WorldConfig;
+use netmodel::NetParams;
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a checkpoint image is restored: the (possibly re-packed) target
+/// topology, the storage model charging the image read-back, and replay
+/// guard-rails.
+#[derive(Debug, Clone)]
+pub struct RestoreConfig {
+    /// Ranks per node of the restored world; `None` keeps the capture's
+    /// packing. The rank count always comes from the image.
+    pub ranks_per_node: Option<usize>,
+    /// Network parameters of the restored world; `None` keeps the
+    /// capture's.
+    pub params: Option<NetParams>,
+    /// Storage model for the image read-back, charged to every restored
+    /// rank's virtual clock under the **restored** packing (fewer ranks
+    /// per node → more nodes → the paper's Figure 9 scaling). `None` makes
+    /// the read free.
+    pub storage: Option<StorageSpec>,
+    /// Stack size for replayed rank threads.
+    pub stack_size: usize,
+    /// Wall-clock budget for the pre-cut replay to go quiet. A program
+    /// that does not match the image never reaches its cut; the driver
+    /// panics instead of waiting forever.
+    pub replay_timeout: Duration,
+}
+
+impl Default for RestoreConfig {
+    fn default() -> Self {
+        RestoreConfig {
+            ranks_per_node: None,
+            params: None,
+            storage: None,
+            stack_size: 1 << 20,
+            replay_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl RestoreConfig {
+    /// Restore with the capture's own packing and parameters.
+    pub fn same_packing() -> Self {
+        RestoreConfig::default()
+    }
+
+    /// Re-packs the restored world onto `rpn` ranks per node.
+    pub fn with_ranks_per_node(mut self, rpn: usize) -> Self {
+        assert!(rpn > 0, "ranks_per_node must be positive");
+        self.ranks_per_node = Some(rpn);
+        self
+    }
+
+    /// Replaces the restored world's network parameters.
+    pub fn with_params(mut self, params: NetParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Attaches a storage model charging the image read-back.
+    pub fn with_storage(mut self, storage: StorageSpec) -> Self {
+        self.storage = Some(storage);
+        self
+    }
+
+    /// Overrides the replay watchdog window.
+    pub fn with_replay_timeout(mut self, t: Duration) -> Self {
+        self.replay_timeout = t;
+        self
+    }
+}
+
+/// Restores `image` into a fresh world and runs it to completion.
+///
+/// `f` must be the same program the image was captured from (byte-for-byte
+/// deterministic given the image's origin world); the driver cross-checks
+/// the replayed runtime state against the image at the cut and panics on
+/// any divergence rather than continuing from inconsistent state. Tampered
+/// or truncated image *bytes* never get this far —
+/// [`Checkpoint::from_bytes`] rejects them by checksum.
+///
+/// # Panics
+/// Panics if the image fails the safe-cut oracle, if the replay does not
+/// reach the captured cut within [`RestoreConfig::replay_timeout`], or if
+/// the replayed state disagrees with the image.
+pub fn restore_ckpt_world<R, F>(image: &Checkpoint, rcfg: RestoreConfig, f: F) -> CkptRunReport<R>
+where
+    R: Send,
+    F: Fn(&mut CcRank) -> R + Send + Sync,
+{
+    assert_eq!(
+        image.captures.len(),
+        image.n_ranks,
+        "image must carry one capture per rank"
+    );
+    image
+        .verify()
+        .expect("image failed the safe-cut oracle; refusing to restore an inconsistent cut");
+
+    let replay_cfg = WorldConfig {
+        n_ranks: image.n_ranks,
+        ranks_per_node: image.origin.ranks_per_node,
+        params: image.origin.params.clone(),
+        stack_size: rcfg.stack_size,
+    };
+    let restored_cfg = WorldConfig {
+        ranks_per_node: rcfg.ranks_per_node.unwrap_or(image.origin.ranks_per_node),
+        params: rcfg
+            .params
+            .clone()
+            .unwrap_or_else(|| image.origin.params.clone()),
+        ..replay_cfg.clone()
+    };
+
+    let plan = RestorePlan::from_image(image);
+    let sh = Session::for_restore(replay_cfg, image.protocol, plan);
+    let sup = Arc::clone(&sh);
+    run_session_threads(sh, rcfg.stack_size, f, move || {
+        drive_restore(&sup, image, &rcfg, restored_cfg);
+        (Vec::new(), Vec::new())
+    })
+}
+
+/// The restore driver: waits for the replay to park at the image's cut,
+/// cross-checks it, then plays the coordinator's restart-resume role.
+fn drive_restore(
+    sh: &Arc<Session>,
+    image: &Checkpoint,
+    rcfg: &RestoreConfig,
+    restored_cfg: WorldConfig,
+) {
+    let control = &sh.control;
+
+    // Wait for every rank to park at its cut (or finish, for ranks the
+    // image captured as finished), under a no-progress watchdog.
+    let mut last_fp = replay_fingerprint(sh);
+    let mut last_change = Instant::now();
+    while !control.all_parked() {
+        let fp = replay_fingerprint(sh);
+        if fp != last_fp {
+            last_fp = fp;
+            last_change = Instant::now();
+        } else if last_change.elapsed() >= rcfg.replay_timeout {
+            let stuck: Vec<usize> = control
+                .ranks
+                .iter()
+                .enumerate()
+                .filter(|(_, rc)| !rc.state().is_parked())
+                .map(|(i, _)| i)
+                .collect();
+            panic!(
+                "restore replay stalled: ranks {stuck:?} never reached the captured cut \
+                 (is `f` the program this image was captured from?)"
+            );
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    }
+
+    // The replayed runtime state must agree with the image before the
+    // image is allowed to overwrite it.
+    for (rank, expected) in image.captures.iter().enumerate() {
+        let replayed = control.ranks[rank]
+            .capture_slot
+            .lock()
+            .clone()
+            .unwrap_or_else(|| panic!("rank {rank} parked without publishing a capture"));
+        check_replay_capture(rank, &replayed, expected);
+    }
+
+    // Charge the image read-back against the restored packing: re-packing
+    // onto fewer ranks per node spreads the same files over more nodes,
+    // which is exactly the Figure 9 topology effect.
+    if let Some(st) = &rcfg.storage {
+        let (nodes, files_per_node, bytes_per_file) = image_file_layout(
+            st,
+            image.n_ranks,
+            restored_cfg.ranks_per_node,
+            &image.in_flight,
+            &image.captures,
+        );
+        let read_ns = (st.model.read_time(nodes, files_per_node, bytes_per_file) * 1e9) as u64;
+        if read_ns > 0 {
+            for rc in control.ranks.iter() {
+                if rc.state() != RankState::Finished {
+                    rc.io_charge_ns.store(read_ns, SeqCst);
+                }
+            }
+        }
+    }
+
+    // From here the image is authoritative: the shared restart-resume path
+    // builds the restored world from the *restore* configuration, installs
+    // the image's per-rank state, and re-deposits its in-flight messages.
+    let coord = Coordinator::new(Arc::clone(sh));
+    coord.resume_restart(image, restored_cfg);
+    control.resume_gen.fetch_add(1, SeqCst);
+    control.clear_pending();
+}
+
+/// Order-insensitive digest of replay progress for the stall watchdog.
+fn replay_fingerprint(sh: &Session) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for rc in &sh.control.ranks {
+        mix(rc.state() as u64);
+        mix(rc.clock_ns.load(std::sync::atomic::Ordering::Relaxed));
+        mix(rc.coll_calls.load(std::sync::atomic::Ordering::Relaxed));
+    }
+    h
+}
+
+/// Panics unless the replayed capture matches the image capture on every
+/// restart-relevant field. Clocks and lower-half handle maps are excluded
+/// (the image's clock is adopted outright; handles are generation-local),
+/// and counters are compared on their application-visible fields (the
+/// replay runs without a live drain).
+fn check_replay_capture(rank: usize, replayed: &RuntimeCapture, expected: &RuntimeCapture) {
+    let mismatch = |what: &str| -> ! {
+        panic!(
+            "restore replay diverged from the image at rank {rank}: {what} differs \
+             (is `f` the program this image was captured from?)"
+        )
+    };
+    if replayed.state != expected.state {
+        mismatch("park state");
+    }
+    if !replayed.counters.same_app_calls(&expected.counters) {
+        mismatch("call counters");
+    }
+    if replayed.seq_table != expected.seq_table {
+        mismatch("sequence table");
+    }
+    if replayed.comm_log != expected.comm_log {
+        mismatch("communicator log");
+    }
+    if replayed.pending_recvs != expected.pending_recvs {
+        mismatch("pending receives");
+    }
+    if replayed.pending_barrier != expected.pending_barrier {
+        mismatch("pending trivial barrier");
+    }
+    if replayed.vcomm_members != expected.vcomm_members {
+        mismatch("communicator membership");
+    }
+}

@@ -1,34 +1,37 @@
 //! The checkpointable world runner: spawns one thread per rank (each with a
-//! [`CcRank`] wrapper) and supervises checkpoint triggers from the calling
-//! thread.
+//! [`CcRank`] wrapper) and supervises a pluggable [`TriggerPolicy`] from
+//! the calling thread.
+//!
+//! Capture no longer implies a resume decision: the policy only says
+//! *when* to capture, [`CkptOptions::resume`] says what this in-process
+//! run does afterwards (continue on the same lower half, or rebuild it),
+//! and the captured [`Checkpoint`] images in the report are first-class
+//! artifacts — serialize one with [`Checkpoint::to_bytes`] and restore it
+//! elsewhere (even onto a different node packing) with
+//! [`crate::restore_ckpt_world`].
 
 use crate::coordinator::{Coordinator, DrainError, ResumeMode, StorageSpec, DEFAULT_STALL_TIMEOUT};
 use crate::image::Checkpoint;
+use crate::policy::{NeverTrigger, TriggerObservation, TriggerPolicy, VirtualTimeSchedule};
 use crate::rank::CcRank;
 use crate::session::Session;
 use mana_core::{CallCounters, DrainTrace, ExecEvent, Protocol, RankState};
 use mpisim::{RankReport, VTime, WorldConfig};
-use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::Ordering::{Relaxed, SeqCst};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// One scheduled checkpoint: fires once every non-finished rank's published
-/// virtual clock has passed `at`.
-#[derive(Debug, Clone, Copy)]
-pub struct CkptTrigger {
-    /// Virtual-time threshold.
-    pub at: VTime,
-    /// Resume mode after capture.
-    pub mode: ResumeMode,
-}
-
 /// Options for [`run_ckpt_world`].
-#[derive(Debug, Clone)]
 pub struct CkptOptions {
     /// Coordination protocol for the wrapper layer.
     pub protocol: Protocol,
-    /// Checkpoints to run, in order.
-    pub triggers: Vec<CkptTrigger>,
+    /// When to capture checkpoints (see [`crate::policy`] for the built-in
+    /// policies). Defaults to [`NeverTrigger`].
+    pub policy: Box<dyn TriggerPolicy>,
+    /// What this in-process run does after each capture. Either way the
+    /// captured image lands in [`CkptRunReport::checkpoints`]; restoring
+    /// elsewhere is [`crate::restore_ckpt_world`]'s job.
+    pub resume: ResumeMode,
     /// Storage model for checkpoint-image I/O; `None` makes checkpoints
     /// free on the virtual clocks (unit-test arithmetic).
     pub storage: Option<StorageSpec>,
@@ -42,7 +45,8 @@ impl Default for CkptOptions {
     fn default() -> Self {
         CkptOptions {
             protocol: Protocol::Cc,
-            triggers: Vec::new(),
+            policy: Box::new(NeverTrigger),
+            resume: ResumeMode::Continue,
             storage: None,
             stall_timeout: DEFAULT_STALL_TIMEOUT,
         }
@@ -56,17 +60,28 @@ impl CkptOptions {
         CkptOptions::default()
     }
 
-    /// One checkpoint at virtual time `at`.
+    /// One checkpoint at virtual time `at`, resuming in-process per `mode`.
     pub fn one_checkpoint(at: VTime, mode: ResumeMode) -> Self {
-        CkptOptions {
-            triggers: vec![CkptTrigger { at, mode }],
-            ..CkptOptions::default()
-        }
+        CkptOptions::default()
+            .with_policy(VirtualTimeSchedule::once(at))
+            .with_resume(mode)
     }
 
     /// Replaces the coordination protocol.
     pub fn with_protocol(mut self, protocol: Protocol) -> Self {
         self.protocol = protocol;
+        self
+    }
+
+    /// Replaces the trigger policy.
+    pub fn with_policy(mut self, policy: impl TriggerPolicy + 'static) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Replaces the in-process resume mode applied after each capture.
+    pub fn with_resume(mut self, resume: ResumeMode) -> Self {
+        self.resume = resume;
         self
     }
 
@@ -80,6 +95,17 @@ impl CkptOptions {
     pub fn with_stall_timeout(mut self, t: Duration) -> Self {
         self.stall_timeout = t;
         self
+    }
+}
+
+impl std::fmt::Debug for CkptOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CkptOptions")
+            .field("protocol", &self.protocol)
+            .field("resume", &self.resume)
+            .field("storage", &self.storage)
+            .field("stall_timeout", &self.stall_timeout)
+            .finish_non_exhaustive()
     }
 }
 
@@ -111,7 +137,7 @@ impl<R> CkptRunReport<R> {
 }
 
 /// Spawns one thread per rank running `f` under the checkpoint wrapper and
-/// drives `opts.triggers` from the calling thread.
+/// drives `opts.policy` from the calling thread.
 ///
 /// A panicking rank is marked `Finished` so the coordinator's supervision
 /// loops terminate, and its panic is re-raised once every rank has
@@ -125,12 +151,57 @@ where
     F: Fn(&mut CcRank) -> R + Send + Sync,
 {
     assert!(
-        opts.triggers.is_empty() || opts.protocol.supports_checkpoint(),
+        opts.protocol.supports_checkpoint() || opts.policy.exhausted(),
         "protocol {} cannot checkpoint",
         opts.protocol.name()
     );
     let sh = Session::new(cfg.clone(), opts.protocol);
-    let n = cfg.n_ranks;
+    let sup = Arc::clone(&sh);
+    run_session_threads(sh, cfg.stack_size, f, move || supervise_policy(&sup, opts))
+}
+
+/// Drives the trigger policy over a running session: polls the published
+/// progress, fires the coordinator on policy demand, stops once the policy
+/// is exhausted or every rank has finished.
+fn supervise_policy(sh: &Arc<Session>, opts: CkptOptions) -> (Vec<Checkpoint>, Vec<DrainError>) {
+    let mut policy = opts.policy;
+    let mut checkpoints = Vec::new();
+    let mut failures = Vec::new();
+    let coord = Coordinator::new(Arc::clone(sh))
+        .with_storage(opts.storage.clone())
+        .with_stall_timeout(opts.stall_timeout);
+    while !policy.exhausted() && !all_finished(sh) {
+        let obs = TriggerObservation {
+            min_clock_ns: min_unfinished_clock_ns(sh),
+            min_coll_calls: min_unfinished_coll_calls(sh),
+            checkpoints_taken: checkpoints.len(),
+        };
+        if policy.should_fire(&obs) {
+            match coord.checkpoint(opts.resume) {
+                Ok(c) => checkpoints.push(c),
+                Err(e) => failures.push(e),
+            }
+        } else {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    (checkpoints, failures)
+}
+
+/// The shared scaffold of [`run_ckpt_world`] and
+/// [`crate::restore_ckpt_world`]: spawn one wrapper thread per rank, run
+/// `supervise` on the calling thread, join, and assemble the report.
+pub(crate) fn run_session_threads<R, F>(
+    sh: Arc<Session>,
+    stack_size: usize,
+    f: F,
+    supervise: impl FnOnce() -> (Vec<Checkpoint>, Vec<DrainError>),
+) -> CkptRunReport<R>
+where
+    R: Send,
+    F: Fn(&mut CcRank) -> R + Send + Sync,
+{
+    let n = sh.cfg.n_ranks;
     let mut reports: Vec<Option<RankReport<R>>> = (0..n).map(|_| None).collect();
     let mut checkpoints = Vec::new();
     let mut failures = Vec::new();
@@ -141,7 +212,7 @@ where
             let f = &f;
             let h = std::thread::Builder::new()
                 .name(format!("ccrank-{rank}"))
-                .stack_size(cfg.stack_size)
+                .stack_size(stack_size)
                 .spawn_scoped(s, move || {
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let mut cc = CcRank::new(Arc::clone(&sh), rank);
@@ -167,25 +238,10 @@ where
             handles.push(h);
         }
 
-        // Trigger supervision runs on the calling thread.
-        let coord = Coordinator::new(Arc::clone(&sh))
-            .with_storage(opts.storage.clone())
-            .with_stall_timeout(opts.stall_timeout);
-        for trig in &opts.triggers {
-            loop {
-                if all_finished(&sh) {
-                    break;
-                }
-                if min_unfinished_clock(&sh) >= trig.at {
-                    match coord.checkpoint(trig.mode) {
-                        Ok(c) => checkpoints.push(c),
-                        Err(e) => failures.push(e),
-                    }
-                    break;
-                }
-                std::thread::sleep(Duration::from_micros(200));
-            }
-        }
+        // Supervision (triggers or restore driving) runs on the calling
+        // thread.
+        (checkpoints, failures) = supervise();
+
         for (rank, h) in handles.into_iter().enumerate() {
             match h.join() {
                 Ok(Ok(rep)) => reports[rank] = Some(rep),
@@ -218,22 +274,38 @@ where
     }
 }
 
-fn all_finished(sh: &Session) -> bool {
+pub(crate) fn all_finished(sh: &Session) -> bool {
     sh.control
         .ranks
         .iter()
         .all(|r| r.state() == RankState::Finished)
 }
 
-/// Minimum published virtual clock over non-finished ranks.
-fn min_unfinished_clock(sh: &Session) -> VTime {
+/// Minimum published virtual clock over non-finished ranks, in integer
+/// nanoseconds. The published clocks are compared as `u64` all the way to
+/// the policy: the old trigger loop converted them to `f64` seconds
+/// first, which collapses distinct clock values above ~2^53 ns.
+fn min_unfinished_clock_ns(sh: &Session) -> u64 {
     let mut min: Option<u64> = None;
     for r in &sh.control.ranks {
         if r.state() == RankState::Finished {
             continue;
         }
-        let c = r.clock_ns.load(std::sync::atomic::Ordering::Relaxed);
+        let c = r.clock_ns.load(Relaxed);
         min = Some(min.map_or(c, |m: u64| m.min(c)));
     }
-    VTime::from_secs(min.unwrap_or(0) as f64 * 1e-9)
+    min.unwrap_or(0)
+}
+
+/// Minimum published collective-call total over non-finished ranks.
+fn min_unfinished_coll_calls(sh: &Session) -> u64 {
+    let mut min: Option<u64> = None;
+    for r in &sh.control.ranks {
+        if r.state() == RankState::Finished {
+            continue;
+        }
+        let c = r.coll_calls.load(Relaxed);
+        min = Some(min.map_or(c, |m: u64| m.min(c)));
+    }
+    min.unwrap_or(0)
 }

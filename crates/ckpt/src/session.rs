@@ -1,12 +1,75 @@
 //! Shared state of one checkpointable execution: the control plane, the
 //! target-update bus, the observability logs, and the current lower-half
-//! generation.
+//! generation. A session optionally carries a [`RestorePlan`] when the
+//! execution is a restore-from-image replay rather than a fresh run.
 
 use crate::bus::UpdateBus;
-use mana_core::{CkptControl, DrainTrace, ExecutionLog, Protocol};
-use mpisim::{World, WorldConfig};
+use crate::image::Checkpoint;
+use mana_core::{
+    CallCounters, CkptControl, DrainTrace, ExecutionLog, Protocol, RankState, SeqTable,
+};
+use mpisim::{VTime, World, WorldConfig};
 use parking_lot::Mutex;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+
+/// Where one rank must stop during a restore replay: the exact
+/// application-visible progress it had at capture. A deterministic
+/// re-execution reaches this point exactly once — every interposition call
+/// advances at least one counted field, so the (counters, seq-table) pair
+/// uniquely identifies the capture site.
+#[derive(Debug, Clone)]
+pub struct CutSpec {
+    /// Captured call counters (compared via
+    /// [`CallCounters::same_app_calls`]; drain bookkeeping is excluded
+    /// because the replay runs without a live drain).
+    pub counters: CallCounters,
+    /// Captured `SEQ[]` table.
+    pub seq_table: SeqTable,
+    /// Captured virtual clock — authoritative: the replayed rank adopts it
+    /// at the cut, so restore timing continues from the image, not from
+    /// replay accounting drift.
+    pub clock: VTime,
+    /// The park state the rank was captured in.
+    pub state: RankState,
+}
+
+impl CutSpec {
+    /// Whether the rank ran to completion before the capture (no cut; the
+    /// replay simply lets it finish).
+    pub fn finished(&self) -> bool {
+        self.state == RankState::Finished
+    }
+}
+
+/// Per-rank cut specifications for a restore-from-image replay, derived
+/// from the image's captures.
+#[derive(Debug)]
+pub struct RestorePlan {
+    /// One cut per rank.
+    pub cuts: Vec<CutSpec>,
+    /// Set once a rank has parked at (or been found past) its cut; cut
+    /// checks short-circuit afterwards.
+    pub reached: Vec<AtomicBool>,
+}
+
+impl RestorePlan {
+    /// Builds the plan from an image.
+    pub fn from_image(image: &Checkpoint) -> RestorePlan {
+        let cuts: Vec<CutSpec> = image
+            .captures
+            .iter()
+            .map(|c| CutSpec {
+                counters: c.counters,
+                seq_table: c.seq_table.clone(),
+                clock: c.clock,
+                state: c.state,
+            })
+            .collect();
+        let reached = cuts.iter().map(|_| AtomicBool::new(false)).collect();
+        RestorePlan { cuts, reached }
+    }
+}
 
 /// Everything the ranks and the coordinator share for one execution.
 pub struct Session {
@@ -25,11 +88,24 @@ pub struct Session {
     pub cfg: WorldConfig,
     /// The coordination protocol in force.
     pub protocol: Protocol,
+    /// Present when this session is a restore-from-image replay: ranks
+    /// re-execute the captured program and park at their recorded cuts.
+    pub restore: Option<RestorePlan>,
 }
 
 impl Session {
     /// Builds the shared state and generation-0 world for `cfg`.
     pub fn new(cfg: WorldConfig, protocol: Protocol) -> Arc<Session> {
+        Self::build(cfg, protocol, None)
+    }
+
+    /// Builds a restore-replay session: the world is the image-equivalent
+    /// replay world and `plan` carries each rank's cut.
+    pub fn for_restore(cfg: WorldConfig, protocol: Protocol, plan: RestorePlan) -> Arc<Session> {
+        Self::build(cfg, protocol, Some(plan))
+    }
+
+    fn build(cfg: WorldConfig, protocol: Protocol, restore: Option<RestorePlan>) -> Arc<Session> {
         let world = World::new(cfg.clone());
         Arc::new(Session {
             control: CkptControl::new(cfg.n_ranks),
@@ -39,6 +115,7 @@ impl Session {
             world: Mutex::new(world),
             cfg,
             protocol,
+            restore,
         })
     }
 
@@ -53,6 +130,7 @@ impl std::fmt::Debug for Session {
         f.debug_struct("Session")
             .field("n_ranks", &self.cfg.n_ranks)
             .field("protocol", &self.protocol)
+            .field("restore", &self.restore.is_some())
             .finish()
     }
 }

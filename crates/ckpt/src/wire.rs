@@ -1,0 +1,221 @@
+//! Minimal binary wire format for checkpoint images.
+//!
+//! The build environment is offline (no `serde`), so the image format is a
+//! small hand-rolled little-endian encoding: fixed-width integers, `f64`
+//! as IEEE-754 bits (bit-exact round trips — restored clocks compare equal
+//! to captured ones), and length-prefixed sequences. Map-valued fields are
+//! written sorted by key so the same image always serializes to the same
+//! bytes; `Checkpoint` round-trip tests rely on that determinism.
+
+/// FNV-1a 64-bit digest — the image integrity checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Consumes the encoder, yielding the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64` (two's-complement bits, little-endian).
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern (exact round trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes raw bytes with no length prefix (header assembly only).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Cursor-style decoder over a byte slice. Every read is bounds-checked;
+/// failures carry a static description of the field that went missing.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// A decode failure: the field that could not be read.
+pub type DecodeError = &'static str;
+
+impl<'a> Dec<'a> {
+    /// Decoder over `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: DecodeError) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(what);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: DecodeError) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: DecodeError) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: DecodeError) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self, what: DecodeError) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` (stored as `u64`); rejects values that overflow the
+    /// platform's `usize`.
+    pub fn usize(&mut self, what: DecodeError) -> Result<usize, DecodeError> {
+        usize::try_from(self.u64(what)?).map_err(|_| what)
+    }
+
+    /// Reads a sequence length and sanity-bounds it against the remaining
+    /// buffer (each element needs at least one byte), so a corrupted length
+    /// cannot trigger a huge allocation.
+    pub fn seq_len(&mut self, what: DecodeError) -> Result<usize, DecodeError> {
+        let n = self.usize(what)?;
+        if n > self.remaining() {
+            return Err(what);
+        }
+        Ok(n)
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self, what: DecodeError) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self, what: DecodeError) -> Result<&'a [u8], DecodeError> {
+        let n = self.usize(what)?;
+        self.take(n, what)
+    }
+
+    /// Whether every byte has been consumed (trailing garbage detection).
+    pub fn finished(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 3);
+        e.i64(-42);
+        e.f64(1.5e-300);
+        e.bytes(b"payload");
+        let buf = e.into_bytes();
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.u8("a").unwrap(), 7);
+        assert_eq!(d.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64("c").unwrap(), u64::MAX - 3);
+        assert_eq!(d.i64("d").unwrap(), -42);
+        assert_eq!(d.f64("e").unwrap(), 1.5e-300);
+        assert_eq!(d.bytes("f").unwrap(), b"payload");
+        assert!(d.finished());
+    }
+
+    #[test]
+    fn truncated_reads_fail_with_field_name() {
+        let mut e = Enc::new();
+        e.u32(1);
+        let buf = e.into_bytes();
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.u64("the field"), Err("the field"));
+    }
+
+    #[test]
+    fn corrupt_length_is_bounded() {
+        let mut e = Enc::new();
+        e.usize(usize::MAX / 2);
+        let buf = e.into_bytes();
+        let mut d = Dec::new(&buf);
+        assert!(d.seq_len("len").is_err(), "oversized length must fail");
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+}

@@ -7,6 +7,7 @@
 //! pending receives, a 2PC pending barrier) and exactly what it discards
 //! (lower-half handles).
 
+use crate::control::RankState;
 use crate::counters::CallCounters;
 use crate::seq::SeqTable;
 use crate::virt::CommOpRecord;
@@ -30,10 +31,16 @@ pub struct PendingRecv {
 
 /// Per-rank runtime capture, published into
 /// [`crate::control::RankCtl::capture_slot`] at quiesce.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeCapture {
     /// World rank.
     pub rank: usize,
+    /// The park state the rank was captured in: `Quiesced` (at a wrapper
+    /// entry or a non-receive wait), `RecvParked` (inside a point-to-point
+    /// wait), `InTrivialBarrier` (2PC), or `Finished` (the application
+    /// function had already returned). Restore-from-image uses this to
+    /// decide which ranks re-park and which run to completion.
+    pub state: RankState,
     /// Virtual clock at capture.
     pub clock: VTime,
     /// The rank's `SEQ[]` table (survives restart: upper-half state).
@@ -65,6 +72,7 @@ mod tests {
     fn capture_is_cloneable_and_inspectable() {
         let cap = RuntimeCapture {
             rank: 3,
+            state: RankState::Quiesced,
             clock: VTime::from_micros(10.0),
             seq_table: SeqTable::new(),
             comm_log: vec![],

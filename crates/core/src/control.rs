@@ -50,7 +50,12 @@ pub enum RankState {
 }
 
 impl RankState {
-    fn from_u8(v: u8) -> RankState {
+    /// Decodes a state byte (checkpoint-image wire format and the shared
+    /// control plane both store states as `u8`).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range byte; image decoding validates first.
+    pub fn from_u8(v: u8) -> RankState {
         match v {
             0 => RankState::Running,
             1 => RankState::Draining,
@@ -99,6 +104,10 @@ pub struct RankCtl {
     /// The rank's virtual clock, in nanoseconds (relaxed mirror for
     /// trigger scheduling).
     pub clock_ns: AtomicU64,
+    /// Total collective calls (blocking + non-blocking initiations) the
+    /// rank has made, published alongside the clock so collective-count
+    /// trigger policies can observe progress without touching the mirrors.
+    pub coll_calls: AtomicU64,
     /// 2PC: the pending trivial barrier (vcomm, collective ordinal) the
     /// rank was sitting in at capture, to re-issue at restart.
     pub pending_barrier: Mutex<Option<(u64, u64)>>,
@@ -137,6 +146,7 @@ impl RankCtl {
             updates_recv: AtomicU64::new(0),
             in_collective: AtomicBool::new(false),
             clock_ns: AtomicU64::new(0),
+            coll_calls: AtomicU64::new(0),
             pending_barrier: Mutex::new(None),
             restored_counters: Mutex::new(None),
             io_charge_ns: AtomicU64::new(0),

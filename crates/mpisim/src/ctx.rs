@@ -84,6 +84,15 @@ impl Ctx {
         self.clock.advance_to(t);
     }
 
+    /// **Restore hook.** Overwrites the clock outright. Only the
+    /// checkpoint engine may call this — when a rank is rebuilt from a
+    /// checkpoint image, the image's captured clock is authoritative and
+    /// replaces whatever the replay accumulated.
+    #[inline]
+    pub fn set_clock(&mut self, t: VTime) {
+        self.clock = t;
+    }
+
     /// The world this context is attached to.
     #[inline]
     pub fn world(&self) -> &Arc<World> {

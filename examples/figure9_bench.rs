@@ -1,0 +1,70 @@
+//! The Figure 9 bench: checkpoint/restart image I/O vs. node count through
+//! the Lustre model (1–16 nodes × three per-rank image sizes at 128 ranks
+//! per node), plus real captured images serialized through the wire format
+//! at small world sizes. Writes `BENCH_figure9.json` into the current
+//! directory, next to the protocol bench's `BENCH_protocols.json`.
+//!
+//! ```sh
+//! cargo run --release --example figure9_bench
+//! ```
+
+use bench::{figure9_report, figure9_to_json, Figure9Config};
+
+fn main() {
+    let cfg = Figure9Config::default();
+    let report = figure9_report(&cfg);
+
+    println!(
+        "{:<6} {:>7} {:>16} {:>12} {:>12}",
+        "nodes", "ranks", "img/rank(MiB)", "write(s)", "read(s)"
+    );
+    for p in &report.model {
+        println!(
+            "{:<6} {:>7} {:>16.0} {:>12.2} {:>12.2}",
+            p.nodes,
+            p.ranks,
+            p.image_bytes_per_rank as f64 / (1 << 20) as f64,
+            p.write_s,
+            p.read_s,
+        );
+    }
+    println!();
+    println!(
+        "{:<6} {:>18} {:>16} {:>12}",
+        "ranks", "image bytes", "in-flight B", "cut events"
+    );
+    for m in &report.measured {
+        println!(
+            "{:<6} {:>18} {:>16} {:>12}",
+            m.ranks, m.serialized_bytes, m.in_flight_bytes, m.cut_events
+        );
+    }
+
+    // The Figure 9 shape, asserted so CI catches a regression: for the
+    // paper's 398 MB image, checkpoint time never improves with node
+    // count (injection-limited and flat at first) and climbs over the
+    // full 1→16 sweep once the job-visible aggregate bandwidth binds.
+    let vasp: Vec<f64> = report
+        .model
+        .iter()
+        .filter(|p| p.image_bytes_per_rank == 398 * 1024 * 1024)
+        .map(|p| p.write_s)
+        .collect();
+    assert!(
+        vasp.windows(2).all(|w| w[0] <= w[1]) && vasp.last().unwrap() > vasp.first().unwrap(),
+        "Figure 9 shape violated: write times over node count: {vasp:?}"
+    );
+    assert!(
+        !report.measured.is_empty(),
+        "no measured image was captured"
+    );
+
+    let json = figure9_to_json(&report);
+    std::fs::write("BENCH_figure9.json", &json).expect("write BENCH_figure9.json");
+    println!(
+        "\nwrote BENCH_figure9.json ({} model cells, {} measured images, {} bytes)",
+        report.model.len(),
+        report.measured.len(),
+        json.len()
+    );
+}

@@ -1,6 +1,7 @@
 //! Quickstart: run a 4-rank random MPI workload, checkpoint it mid-flight
-//! with the CC drain, restart into a fresh lower half, and verify the
-//! continuation is bit-identical to an uninterrupted run.
+//! with the CC drain, restart in-process, then round-trip the image
+//! through serialized bytes and restore it into a fresh world — verifying
+//! every continuation is bit-identical to an uninterrupted run.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -11,7 +12,7 @@ use workloads::quickstart;
 fn main() {
     let out = quickstart(4, 2024, 40);
     let ckpt = &out.checkpoint;
-    println!("== quickstart: checkpoint → restore → bit-identical continuation ==");
+    println!("== quickstart: checkpoint → image → restore → bit-identical continuation ==");
     println!(
         "native run:     makespan {}  results {:?}",
         out.native_makespan, out.native_results
@@ -19,6 +20,10 @@ fn main() {
     println!(
         "ckpt+restart:   makespan {}  results {:?}",
         out.ckpt_makespan, out.ckpt_results
+    );
+    println!(
+        "image restore:  makespan {}  results {:?}",
+        out.restored_makespan, out.restored_results
     );
     println!(
         "checkpoint:     epoch {} captured at {} | {} groups targeted, {} raises folded",
@@ -34,6 +39,10 @@ fn main() {
         ckpt.cut_events.len()
     );
     println!(
+        "image:          {} B serialized (versioned header + FNV-1a checksum)",
+        out.image_bytes
+    );
+    println!(
         "safe cut:       {}",
         if ckpt.verify().is_ok() {
             "OK"
@@ -41,6 +50,6 @@ fn main() {
             "VIOLATED"
         }
     );
-    assert!(out.bit_identical(), "restarted run diverged");
-    println!("bit-identical:  OK");
+    assert!(out.bit_identical(), "a continuation diverged");
+    println!("bit-identical:  OK (in-process restart AND restore-from-image)");
 }
