@@ -1,0 +1,320 @@
+//! The Figure 7 sweep: virtual checkpoint **drain latency** against the
+//! workload's **collective rate**, across workloads and world sizes.
+//!
+//! The paper's Figure 7 plots the distribution of the CC protocol's drain
+//! latency (request → capture, virtual time) at up to 512 ranks and shows
+//! it stays small — a handful of collective intervals — because the drain
+//! only has to run every group to the maximum already-started sequence
+//! number, never to a global barrier. This harness reproduces that shape:
+//! each (workload × world size) cell runs under CC with several
+//! checkpoints spread over the run, records every per-checkpoint
+//! [`ckpt::Checkpoint::drain_latency_secs`], and pairs it with the
+//! per-rank collective rate derived from the final
+//! [`mana_core::CallCounters`] (`coll_rate`). The JSON written by
+//! `examples/figure7_bench.rs` lands in `BENCH_figure7.json`.
+//!
+//! Shape expectations (asserted by `tests/figure7.rs` and the release-only
+//! `large_scale` tier):
+//!
+//! * drain latency is finite and non-negative everywhere;
+//! * within a cell, drain latency is bounded by a small multiple of the
+//!   mean collective interval (`1 / coll_rate`) — the drain completes
+//!   within the round of collectives already in flight;
+//! * across world sizes, the bound does **not** grow with the rank count:
+//!   CC drain latency stays flat as worlds grow (the paper's headline),
+//!   in contrast to stop-the-world approaches.
+
+use crate::BenchWorkload;
+use ckpt::{run_ckpt_world, CkptOptions, ResumeMode, VirtualTimeSchedule};
+use mana_core::Protocol;
+use mpisim::{NetParams, VTime, WorldConfig};
+
+/// Configuration of the Figure 7 sweep.
+#[derive(Debug, Clone)]
+pub struct Figure7Config {
+    /// World sizes to sweep.
+    pub ranks: Vec<usize>,
+    /// Ranks per simulated node (Perlmutter: 128).
+    pub ranks_per_node: usize,
+    /// Workload iterations per run.
+    pub iters: usize,
+    /// Checkpoints per run (drain-latency samples), spread evenly over the
+    /// native makespan.
+    pub checkpoints: usize,
+}
+
+impl Default for Figure7Config {
+    fn default() -> Self {
+        Figure7Config {
+            ranks: vec![8, 16, 32, 64],
+            ranks_per_node: 128,
+            iters: 60,
+            checkpoints: 3,
+        }
+    }
+}
+
+impl Figure7Config {
+    /// The paper-scale sweep ({64, 128, 256, 512} ranks). Release builds
+    /// only — this is minutes of work in a debug build.
+    pub fn paper_scale() -> Self {
+        Figure7Config {
+            ranks: vec![64, 128, 256, 512],
+            ..Figure7Config::default()
+        }
+    }
+}
+
+/// One measured cell of the Figure 7 matrix.
+#[derive(Debug, Clone)]
+pub struct Figure7Record {
+    /// Workload name.
+    pub workload: &'static str,
+    /// World size.
+    pub ranks: usize,
+    /// Mean per-rank collective rate (calls per virtual second), from the
+    /// final interposition counters over the run makespan.
+    pub coll_rate_hz: f64,
+    /// Mean collective interval (`1 / coll_rate_hz`), the natural unit of
+    /// drain latency.
+    pub coll_interval_s: f64,
+    /// Virtual drain latency of every checkpoint taken, in run order.
+    pub drain_latency_s: Vec<f64>,
+}
+
+impl Figure7Record {
+    /// Largest drain latency of the cell (0 if no checkpoint fired).
+    pub fn max_latency_s(&self) -> f64 {
+        self.drain_latency_s.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Largest drain latency in units of the mean collective interval.
+    pub fn max_latency_intervals(&self) -> f64 {
+        if self.coll_interval_s > 0.0 {
+            self.max_latency_s() / self.coll_interval_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn world_cfg(cfg: &Figure7Config, n: usize) -> WorldConfig {
+    WorldConfig::multi_node(n, cfg.ranks_per_node)
+        .with_params(NetParams::slingshot11().without_jitter())
+}
+
+/// Runs one (workload, ranks) cell: a native timing run to place the
+/// checkpoint schedule, then a CC run capturing `cfg.checkpoints`
+/// checkpoints.
+pub fn figure7_cell(cfg: &Figure7Config, workload: BenchWorkload, n: usize) -> Figure7Record {
+    let iters = cfg.iters;
+    let native = run_ckpt_world(
+        world_cfg(cfg, n),
+        CkptOptions::native().with_protocol(Protocol::Native),
+        |r| workload.run_iters(iters, r),
+    );
+    let native_s = native.makespan.as_secs();
+
+    // Spread the checkpoints over the middle of the run: at fractions
+    // 1/(k+1) … k/(k+1) of the native makespan. A light wall pace keeps
+    // the asynchronous trigger from racing a wall-fast completion; it
+    // sleeps slotless and leaves virtual time untouched.
+    let k = cfg.checkpoints.max(1);
+    let times = (1..=k).map(|i| VTime::from_secs(native_s * i as f64 / (k + 1) as f64));
+    let run = run_ckpt_world(
+        world_cfg(cfg, n),
+        CkptOptions::default()
+            .with_protocol(Protocol::Cc)
+            .with_policy(VirtualTimeSchedule::new(times))
+            .with_resume(ResumeMode::Continue),
+        |r| {
+            r.set_wall_pace_us(25);
+            workload.run_iters(iters, r)
+        },
+    );
+    assert!(
+        run.failures.is_empty(),
+        "figure7 cell ({}, {n}) aborted a checkpoint: {:?}",
+        workload.name(),
+        run.failures
+    );
+    let makespan_s = run.makespan.as_secs();
+    let coll_rate_hz = if makespan_s > 0.0 {
+        run.final_counters
+            .iter()
+            .map(|c| c.coll_rate(run.makespan))
+            .sum::<f64>()
+            / n as f64
+    } else {
+        0.0
+    };
+    Figure7Record {
+        workload: workload.name(),
+        ranks: n,
+        coll_rate_hz,
+        coll_interval_s: if coll_rate_hz > 0.0 {
+            1.0 / coll_rate_hz
+        } else {
+            0.0
+        },
+        drain_latency_s: run
+            .checkpoints
+            .iter()
+            .map(ckpt::Checkpoint::drain_latency_secs)
+            .collect(),
+    }
+}
+
+/// The full sweep: workloads × world sizes.
+pub fn figure7_report(cfg: &Figure7Config) -> Vec<Figure7Record> {
+    let mut out = Vec::new();
+    for workload in BenchWorkload::ALL {
+        for &n in &cfg.ranks {
+            out.push(figure7_cell(cfg, workload, n));
+        }
+    }
+    out
+}
+
+/// The Figure 7 distribution-shape check, shared by the bench example and
+/// the test tiers. Asserts that every cell fired all `expected_ckpts`
+/// checkpoints with finite non-negative drain latency at a positive
+/// collective rate, and that — per workload — CC drain latency stays
+/// bounded as the world grows: the largest world's worst drain, measured
+/// in mean collective intervals, is (a) below an absolute ceiling and
+/// (b) within a constant factor of the smallest world's.
+///
+/// The ceilings are deliberately loose (the claim is "stays bounded",
+/// not a point estimate): the drain runs every group to the maximum
+/// already-started sequence number, so a healthy CC drain costs a few
+/// rounds of collectives regardless of rank count, plus the pre-request
+/// clock skew between the fastest and slowest rank.
+///
+/// # Panics
+/// Panics when the shape is violated.
+pub fn assert_figure7_shape(records: &[Figure7Record], expected_ckpts: usize) {
+    /// Absolute ceiling on drain latency, in mean collective intervals.
+    const MAX_INTERVALS: f64 = 64.0;
+    /// Largest-vs-smallest world growth ceiling, in interval units.
+    const GROWTH_FACTOR: f64 = 8.0;
+
+    assert!(!records.is_empty(), "figure7 report is empty");
+    for r in records {
+        assert_eq!(
+            r.drain_latency_s.len(),
+            expected_ckpts,
+            "cell ({}, {}) fired {}/{expected_ckpts} checkpoints",
+            r.workload,
+            r.ranks,
+            r.drain_latency_s.len()
+        );
+        for &l in &r.drain_latency_s {
+            assert!(
+                l.is_finite() && l >= 0.0,
+                "cell ({}, {}) has a bad drain latency: {l}",
+                r.workload,
+                r.ranks
+            );
+        }
+        assert!(
+            r.coll_rate_hz > 0.0,
+            "cell ({}, {}) measured no collectives",
+            r.workload,
+            r.ranks
+        );
+        assert!(
+            r.max_latency_intervals() <= MAX_INTERVALS,
+            "cell ({}, {}): drain latency {} intervals exceeds the CC bound {MAX_INTERVALS}",
+            r.workload,
+            r.ranks,
+            r.max_latency_intervals()
+        );
+    }
+    let mut workloads: Vec<&'static str> = records.iter().map(|r| r.workload).collect();
+    workloads.dedup();
+    for wl in workloads {
+        let mut cells: Vec<&Figure7Record> = records.iter().filter(|r| r.workload == wl).collect();
+        cells.sort_by_key(|r| r.ranks);
+        let (Some(small), Some(large)) = (cells.first(), cells.last()) else {
+            continue;
+        };
+        if small.ranks == large.ranks {
+            continue;
+        }
+        // "Stays bounded as rank count grows": in interval units, the
+        // biggest world's worst drain is within a constant factor of the
+        // smallest world's (floored at one interval so a near-zero small-
+        // world drain cannot manufacture a huge ratio).
+        let base = small.max_latency_intervals().max(1.0);
+        let top = large.max_latency_intervals();
+        assert!(
+            top <= GROWTH_FACTOR * base,
+            "{wl}: drain latency grew with world size: \
+             {} intervals at {} ranks vs {} intervals at {} ranks",
+            top,
+            large.ranks,
+            small.max_latency_intervals(),
+            small.ranks
+        );
+    }
+}
+
+/// Serializes records as a JSON array (no external dependencies).
+pub fn figure7_to_json(records: &[Figure7Record]) -> String {
+    let f = |v: f64| {
+        if v.is_finite() {
+            format!("{v:.9}")
+        } else {
+            "null".to_string()
+        }
+    };
+    let mut rows = Vec::with_capacity(records.len());
+    for r in records {
+        let lats: Vec<String> = r.drain_latency_s.iter().map(|&v| f(v)).collect();
+        rows.push(format!(
+            concat!(
+                "  {{\"workload\":\"{}\",\"ranks\":{},\"coll_rate_hz\":{},",
+                "\"coll_interval_s\":{},\"drain_latency_s\":[{}]}}"
+            ),
+            r.workload,
+            r.ranks,
+            f(r.coll_rate_hz),
+            f(r.coll_interval_s),
+            lats.join(","),
+        ));
+    }
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_wellformed() {
+        let rec = Figure7Record {
+            workload: "scf",
+            ranks: 8,
+            coll_rate_hz: 1000.0,
+            coll_interval_s: 1e-3,
+            drain_latency_s: vec![0.5e-3, 0.7e-3],
+        };
+        let s = figure7_to_json(&[rec]);
+        assert!(s.contains("\"workload\":\"scf\""));
+        assert!(s.contains("\"drain_latency_s\":[0.000500000,0.000700000]"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn latency_interval_helpers() {
+        let rec = Figure7Record {
+            workload: "halo",
+            ranks: 4,
+            coll_rate_hz: 100.0,
+            coll_interval_s: 0.01,
+            drain_latency_s: vec![0.02, 0.05],
+        };
+        assert_eq!(rec.max_latency_s(), 0.05);
+        assert!((rec.max_latency_intervals() - 5.0).abs() < 1e-12);
+    }
+}

@@ -19,7 +19,9 @@ use mpisim::{NetParams, VTime, WorldConfig};
 use netmodel::LustreModel;
 use workloads::{bcast_pipeline, halo_exchange, scf_loop};
 
+pub mod figure7;
 pub mod figure9;
+pub use figure7::{figure7_report, figure7_to_json, Figure7Config, Figure7Record};
 pub use figure9::{figure9_report, figure9_to_json, Figure9Config, Figure9Report};
 
 /// A workload in the protocol-comparison matrix. All are 2PC-compatible
@@ -54,7 +56,8 @@ impl BenchWorkload {
         BenchWorkload::BcastPipeline,
     ];
 
-    fn run(self, iters: usize, rank: &mut CcRank) -> f64 {
+    /// Runs `iters` iterations of this workload on one wrapped rank.
+    pub fn run_iters(self, iters: usize, rank: &mut CcRank) -> f64 {
         match self {
             BenchWorkload::Scf => scf_loop(rank, iters, 8),
             BenchWorkload::Halo => halo_exchange(rank, iters, 8),
@@ -143,7 +146,7 @@ fn run_baseline(workload: BenchWorkload, n: usize, jitter: bool, iters: usize) -
     let native = run_ckpt_world(
         world_cfg(n, jitter),
         CkptOptions::native().with_protocol(Protocol::Native),
-        |r| workload.run(iters, r),
+        |r| workload.run_iters(iters, r),
     );
     Baseline {
         makespan_s: native.makespan.as_secs(),
@@ -204,7 +207,7 @@ fn run_case_against(
                 image_bytes_per_rank: cfg.image_bytes_per_rank,
             });
     }
-    let run = run_ckpt_world(world_cfg(n, jitter), opts, |r| workload.run(iters, r));
+    let run = run_ckpt_world(world_cfg(n, jitter), opts, |r| workload.run_iters(iters, r));
     assert!(
         run.failures.is_empty(),
         "bench checkpoint aborted: {:?}",

@@ -1,12 +1,16 @@
 //! Adversarial drain schedules (ISSUE satellite): a rank parked in a
-//! wildcard (`ANY_SOURCE`) receive while the others drain, and a
-//! non-blocking collective that is initiated but not completed when the
-//! checkpoint request lands (§4.3.1 counts initiation; §4.3.2 drains it).
+//! wildcard (`ANY_SOURCE`) receive while the others drain, a non-blocking
+//! collective that is initiated but not completed when the checkpoint
+//! request lands (§4.3.1 counts initiation; §4.3.2 drains it), and the
+//! drain-stall watchdog at scale — a healthy 256-rank drain under the
+//! batched cooperative scheduler must not be misread as a p2p stall.
 
+use ckpt::coordinator::{auto_stall_timeout, DEFAULT_STALL_TIMEOUT};
 use ckpt::{run_ckpt_world, CkptOptions, ResumeMode};
 use mpisim::dtype::{decode_f64, encode_f64};
 use mpisim::{DType, NetParams, ReduceOp, SrcSel, TagSel, VTime, WorldConfig};
 use std::time::Duration;
+use workloads::{random_workload, RandomWorkloadCfg};
 
 fn cfg(n: usize) -> WorldConfig {
     WorldConfig::single_node(n).with_params(NetParams::slingshot11().without_jitter())
@@ -39,7 +43,7 @@ fn wildcard_recv_parks_while_others_drain() {
                 for _ in 0..60 {
                     r.allreduce_f64(sub, &[1.0], ReduceOp::Sum);
                     r.compute(5e-6);
-                    std::thread::sleep(Duration::from_micros(50));
+                    r.wall_sleep(Duration::from_micros(50));
                 }
                 if r.rank() == 1 {
                     r.send(world, 0, 7, encode_f64(&[42.5]));
@@ -80,7 +84,7 @@ fn initiated_nonblocking_collective_drains_at_checkpoint() {
                 ReduceOp::Sum,
             );
             // Wide wall-clock window with the request outstanding.
-            std::thread::sleep(Duration::from_millis(3));
+            r.wall_sleep(Duration::from_millis(3));
             let c = r.wait(v);
             decode_f64(&c.data)[0]
         },
@@ -101,6 +105,66 @@ fn initiated_nonblocking_collective_drains_at_checkpoint() {
     for r in &run.ranks {
         assert_eq!(r.result, 0.0 + 1.0 + 2.0 + 3.0);
     }
+}
+
+/// The auto stall window scales with the world size (the drain's wall
+/// progress thins out linearly once ranks outnumber workers), and an
+/// explicit [`CkptOptions::with_stall_timeout`] still pins it.
+#[test]
+fn stall_window_scales_with_world_size() {
+    assert!(auto_stall_timeout(2, 2) >= DEFAULT_STALL_TIMEOUT);
+    assert!(auto_stall_timeout(512, 2) > auto_stall_timeout(64, 2));
+    assert!(
+        auto_stall_timeout(256, 2) >= DEFAULT_STALL_TIMEOUT + Duration::from_secs(10),
+        "256-rank window on a 2-worker host must leave the fixed default far behind: {:?}",
+        auto_stall_timeout(256, 2)
+    );
+    // A wide host keeps a tight watchdog: the window tracks the
+    // multiplexing ratio, not the raw rank count.
+    assert!(auto_stall_timeout(512, 64) < auto_stall_timeout(512, 2));
+    let pinned = CkptOptions::default().with_stall_timeout(Duration::from_millis(250));
+    assert_eq!(pinned.stall_timeout, Some(Duration::from_millis(250)));
+    assert_eq!(CkptOptions::default().stall_timeout, None);
+}
+
+/// Watchdog regression at scale (release-only): a healthy 256-rank drain
+/// over a p2p-heavy randomized workload, wall-paced and multiplexed onto
+/// a handful of workers, completes a checkpoint + restart under the
+/// *default* (auto-scaled) stall window without tripping
+/// `DrainError::P2pStall`. Before the window scaled with world size, the
+/// serialized wall progress of large drains was misread as a stall.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "large-scale tier is release-only: cargo test --release -p bench -- large_scale"
+)]
+fn large_scale_256_rank_drain_does_not_spuriously_stall() {
+    let n = 256;
+    let cfg =
+        WorldConfig::multi_node(n, 128).with_params(NetParams::slingshot11().without_jitter());
+    let wl = RandomWorkloadCfg::new(11, 25);
+    let native = run_ckpt_world(cfg.clone(), CkptOptions::native(), |r| {
+        random_workload(&wl, r)
+    });
+    let at = VTime::from_secs(native.makespan.as_secs() * 0.4);
+    // Heavier pace than the safe-cut tier: stretch the drain's wall
+    // footprint the way a slow host would.
+    let paced = wl.clone().with_pace_us(60);
+    let run = run_ckpt_world(
+        cfg,
+        CkptOptions::one_checkpoint(at, ResumeMode::Restart),
+        |r| random_workload(&paced, r),
+    );
+    assert!(
+        run.failures.is_empty(),
+        "healthy 256-rank drain tripped the watchdog: {:?}",
+        run.failures
+    );
+    assert_eq!(run.checkpoints.len(), 1, "checkpoint must fire mid-run");
+    run.checkpoints[0].verify().expect("safe cut at 256 ranks");
+    let native_data: Vec<f64> = native.results().copied().collect();
+    let run_data: Vec<f64> = run.results().copied().collect();
+    assert_eq!(native_data, run_data, "continuation diverged at 256 ranks");
 }
 
 /// A checkpoint that lands when some ranks already finished must still
@@ -126,7 +190,7 @@ fn checkpoint_with_finished_ranks() {
             let mut acc = 0.0;
             for _ in 0..40 {
                 r.compute(2e-6);
-                std::thread::sleep(Duration::from_micros(50));
+                r.wall_sleep(Duration::from_micros(50));
                 acc = r.allreduce_f64(sub, &[acc + 1.0], ReduceOp::Sum)[0];
             }
             acc

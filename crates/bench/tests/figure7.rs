@@ -1,0 +1,46 @@
+//! The Figure 7 sweep as a test: drain latency vs. collective rate across
+//! workloads and world sizes, asserting the paper's distribution shape —
+//! the CC drain completes within a bounded number of collective intervals,
+//! and the bound does not grow with the rank count.
+//!
+//! Tier-1 runs a small sweep on every `cargo test`; the `large_scale`
+//! variant sweeps the paper's {64, 128, 256, 512} operating points and is
+//! release-only (`cargo test --release -p bench -- large_scale`).
+
+use bench::figure7::assert_figure7_shape;
+use bench::{figure7_report, Figure7Config};
+
+#[test]
+fn figure7_shape_small_worlds() {
+    let cfg = Figure7Config {
+        ranks: vec![4, 8, 16],
+        iters: 40,
+        ..Figure7Config::default()
+    };
+    let report = figure7_report(&cfg);
+    assert_eq!(report.len(), 3 * cfg.ranks.len());
+    assert_figure7_shape(&report, cfg.checkpoints);
+}
+
+/// The paper-scale sweep: CC drain latency stays bounded from 64 up to 512
+/// ranks under the batched cooperative scheduler.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "large-scale tier is release-only: cargo test --release -p bench -- large_scale"
+)]
+fn large_scale_figure7_shape_to_512_ranks() {
+    let cfg = Figure7Config::paper_scale();
+    let report = figure7_report(&cfg);
+    assert_eq!(report.len(), 3 * cfg.ranks.len());
+    assert_figure7_shape(&report, cfg.checkpoints);
+
+    // The latency distribution must cover genuinely different collective
+    // rates (the x-axis of Figure 7 is a sweep, not a point).
+    let mut rates: Vec<f64> = report.iter().map(|r| r.coll_rate_hz).collect();
+    rates.sort_by(f64::total_cmp);
+    assert!(
+        rates.last().unwrap() / rates.first().unwrap() > 2.0,
+        "figure7 sweep collapsed to a single collective rate: {rates:?}"
+    );
+}

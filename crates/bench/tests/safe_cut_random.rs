@@ -8,6 +8,17 @@
 //! *independent* of the drain implementation: it replays the execution log
 //! against the two §4.2.2 safe-state conditions. Restart runs additionally
 //! assert bit-identical continuation against an uninterrupted run.
+//!
+//! Two tiers:
+//!
+//! * the 2–8-rank tier runs on every `cargo test` (tier-1), many seeds per
+//!   size;
+//! * the **large-scale tier** ({64, 128, 256, 512} ranks, Perlmutter-style
+//!   128-ranks-per-node packing, fewer seeds at the top sizes) exercises
+//!   the batched cooperative scheduler at the paper's Figure 5a/7
+//!   operating points. It is release-only — debug builds would spend
+//!   minutes per seed — and runs in CI as
+//!   `cargo test --release -p bench -- large_scale`.
 
 use ckpt::{run_ckpt_world, Checkpoint, CkptOptions, ResumeMode};
 use mana_core::Protocol;
@@ -22,25 +33,38 @@ fn cfg(n: usize) -> WorldConfig {
     WorldConfig::single_node(n).with_params(NetParams::slingshot11().without_jitter())
 }
 
+/// Large-scale tier worlds use the paper's Perlmutter packing: 128 ranks
+/// per node, so 512 ranks span 4 nodes and inter-node costs participate.
+fn large_cfg(n: usize) -> WorldConfig {
+    WorldConfig::multi_node(n, 128).with_params(NetParams::slingshot11().without_jitter())
+}
+
 /// One seed: native run for reference, then a checkpointed run with the
 /// trigger at a random fraction of the native makespan. Returns the
 /// checkpoint if one fired.
 fn one_case(n: usize, seed: u64) -> Option<Checkpoint> {
-    one_case_proto(n, seed, Protocol::Cc)
+    one_case_sized(cfg(n), seed, Protocol::Cc)
 }
 
-/// `one_case`, parameterized over the coordination protocol. 2PC runs use
-/// the blocking-only schedule (it refuses non-blocking collectives) and
-/// compare against a 2PC run without checkpoints, so the only difference
-/// is the checkpoint itself.
 fn one_case_proto(n: usize, seed: u64, protocol: Protocol) -> Option<Checkpoint> {
+    one_case_sized(cfg(n), seed, protocol)
+}
+
+/// The shared seed driver, parameterized over the world configuration and
+/// the coordination protocol. 2PC runs use the blocking-only schedule (it
+/// refuses non-blocking collectives) and compare against a 2PC run without
+/// checkpoints, so the only difference is the checkpoint itself.
+fn one_case_sized(cfg: WorldConfig, seed: u64, protocol: Protocol) -> Option<Checkpoint> {
+    let n = cfg.n_ranks;
     let mut wl = RandomWorkloadCfg::new(seed, STEPS);
     if protocol == Protocol::TwoPhase {
         wl = wl.with_blocking_only();
     }
-    let native = run_ckpt_world(cfg(n), CkptOptions::native().with_protocol(protocol), |r| {
-        random_workload(&wl, r)
-    });
+    let native = run_ckpt_world(
+        cfg.clone(),
+        CkptOptions::native().with_protocol(protocol),
+        |r| random_workload(&wl, r),
+    );
     let native_results: Vec<f64> = native.results().copied().collect();
 
     let mut rng = SplitMix64::new(seed ^ 0xC0FF_EE00);
@@ -54,7 +78,7 @@ fn one_case_proto(n: usize, seed: u64, protocol: Protocol) -> Option<Checkpoint>
 
     let paced = wl.clone().with_pace_us(20);
     let run = run_ckpt_world(
-        cfg(n),
+        cfg,
         CkptOptions::one_checkpoint(at, mode).with_protocol(protocol),
         |r| random_workload(&paced, r),
     );
@@ -147,6 +171,66 @@ fn safe_cut_random_2pc_4_ranks() {
 #[test]
 fn safe_cut_random_2pc_8_ranks() {
     sweep_proto(8, Protocol::TwoPhase, SEEDS_PER_SIZE_2PC);
+}
+
+// ---------------------------------------------------------------------
+// Large-scale tier (release-only): the paper's operating points under the
+// batched cooperative scheduler. Every seed must fire its checkpoint and
+// pass the full oracle + bit-identical-continuation battery; even seeds
+// restart (fresh lower half at 512 ranks), odd seeds continue.
+// ---------------------------------------------------------------------
+
+fn large_sweep(n: usize, seeds: u64) {
+    let mut fired = 0u64;
+    for seed in 0..seeds {
+        if one_case_sized(large_cfg(n), seed, Protocol::Cc).is_some() {
+            fired += 1;
+        }
+    }
+    assert!(
+        fired == seeds,
+        "only {fired}/{seeds} checkpoints fired at n={n} (large-scale tier)"
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "large-scale tier is release-only: cargo test --release -p bench -- large_scale"
+)]
+fn large_scale_safe_cut_64_ranks() {
+    large_sweep(64, 4);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "large-scale tier is release-only: cargo test --release -p bench -- large_scale"
+)]
+fn large_scale_safe_cut_128_ranks() {
+    large_sweep(128, 3);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "large-scale tier is release-only: cargo test --release -p bench -- large_scale"
+)]
+fn large_scale_safe_cut_256_ranks() {
+    large_sweep(256, 2);
+}
+
+/// The acceptance-criterion case: a 512-rank world runs checkpoint +
+/// restart (seed 0) and checkpoint + continue (seed 1) end-to-end under
+/// the batched scheduler, with `verify_safe_cut` passing and bit-identical
+/// continuation against the uninterrupted run.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "large-scale tier is release-only: cargo test --release -p bench -- large_scale"
+)]
+fn large_scale_safe_cut_512_ranks() {
+    large_sweep(512, 2);
 }
 
 /// The oracle itself must still reject: corrupt a genuinely captured log

@@ -43,6 +43,18 @@ const POLL: Duration = Duration::from_micros(100);
 /// one — keep the window comfortably above any deliberate pauses.
 pub const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// The world-size-scaled stall window used when [`crate::CkptOptions`]
+/// does not pin one. Under the batched cooperative scheduler a drain's
+/// total work grows with the rank count while only `workers` ranks run
+/// at once, so per-rank wall progress thins out by the multiplexing
+/// ratio `n_ranks / workers`; the window grows by that many scheduling
+/// rounds so a healthy 512-rank drain on a small host is never misread
+/// as a p2p stall, while a wide host keeps a tight watchdog.
+pub fn auto_stall_timeout(n_ranks: usize, workers: usize) -> Duration {
+    let rounds = n_ranks.div_ceil(workers.max(1)) as u64;
+    DEFAULT_STALL_TIMEOUT + Duration::from_millis(rounds * 80)
+}
+
 /// What happens after the image is captured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ResumeMode {
@@ -381,7 +393,11 @@ impl Coordinator {
         let live: Vec<usize> = (0..control.n_ranks)
             .filter(|&i| control.ranks[i].state() != RankState::Finished)
             .collect();
-        let new_world = World::with_epoch(cfg, ckpt.epoch + 1);
+        // The fresh lower half is built onto the *same* scheduler: the
+        // surviving rank threads keep their (released) run slots and wake
+        // into the new generation.
+        let sched = Arc::clone(sh.current_world().scheduler());
+        let new_world = World::with_epoch_attached(cfg, ckpt.epoch + 1, sched);
         *sh.world.lock() = Arc::clone(&new_world);
         control.world_epoch.fetch_add(1, SeqCst);
         control.replayed_count.store(0, SeqCst);

@@ -29,6 +29,18 @@ pub const IMAGE_MAGIC: [u8; 8] = *b"MANACKPT";
 /// Current image wire-format version.
 pub const IMAGE_VERSION: u32 = 1;
 
+/// Byte offset of the header's `u32` format-version word.
+pub const IMAGE_VERSION_OFFSET: usize = IMAGE_MAGIC.len();
+
+/// Byte offset of the header's `u64` payload-length word.
+pub const IMAGE_LEN_OFFSET: usize = IMAGE_VERSION_OFFSET + 4;
+
+/// Byte offset of the header's `u64` FNV-1a payload-checksum word.
+pub const IMAGE_CHECKSUM_OFFSET: usize = IMAGE_LEN_OFFSET + 8;
+
+/// Total header length; the checksummed payload starts here.
+pub const IMAGE_HEADER_LEN: usize = IMAGE_CHECKSUM_OFFSET + 8;
+
 /// Why a serialized image was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ImageError {
@@ -229,7 +241,7 @@ impl Checkpoint {
     /// Parses a serialized image, validating magic, version, length, and
     /// checksum before touching the payload.
     pub fn from_bytes(buf: &[u8]) -> Result<Checkpoint, ImageError> {
-        const HEADER: usize = 8 + 4 + 8 + 8;
+        const HEADER: usize = IMAGE_HEADER_LEN;
         if buf.len() < HEADER {
             if !buf.starts_with(&IMAGE_MAGIC[..buf.len().min(8)]) {
                 return Err(ImageError::BadMagic);
@@ -249,13 +261,24 @@ impl Checkpoint {
         }
         let payload_len = h.usize("payload length").expect("sized above");
         let checksum = h.u64("checksum").expect("sized above");
-        if buf.len() < HEADER + payload_len {
+        // Checked arithmetic: a corrupted length near `usize::MAX` must
+        // not wrap past the bounds check and panic in the slice below.
+        let total = HEADER
+            .checked_add(payload_len)
+            .ok_or(ImageError::Malformed("payload length"))?;
+        if buf.len() < total {
             return Err(ImageError::Truncated {
-                expected: HEADER + payload_len,
+                expected: total,
                 got: buf.len(),
             });
         }
-        let payload = &buf[HEADER..HEADER + payload_len];
+        if buf.len() > total {
+            // Appended junk is corruption too: the image must account for
+            // every byte, or a concatenation/truncation bug upstream
+            // would round-trip undetected.
+            return Err(ImageError::Malformed("trailing bytes"));
+        }
+        let payload = &buf[HEADER..total];
         if fnv1a64(payload) != checksum {
             return Err(ImageError::ChecksumMismatch);
         }

@@ -72,6 +72,35 @@
 //!   (optionally re-packed via [`RestoreConfig`]), replays the program to
 //!   the cut, cross-checks the replayed state against the image, and
 //!   continues with the image authoritative.
+//!
+//! ## Execution model: batched cooperative scheduling
+//!
+//! Rank bodies still run on one thread each (the thread *is* the rank's
+//! continuation), but execution is multiplexed by [`mpisim::Scheduler`]:
+//! only `~num_cpus` ranks hold run slots at any instant
+//! ([`mpisim::world::WorldConfig::workers`] overrides the bound), which
+//! is what carries the paper's 512-rank worlds on one host. Every park
+//! in this crate is a scheduler **yield-point** — the drain gate's
+//! entry park, the 2PC trivial-barrier poll, the cooperative p2p wait,
+//! and the quiesce/capture park all release their slot for the duration
+//! (`Ctx::blocked` / the scheduler's `blocking` bracket), and all of
+//! them are *event-driven*: wakes come from mailbox deposits, collective
+//! completions, the update bus, and coordinator phase transitions, never
+//! from short timed polls (a 200 µs re-check multiplied by 512 parked
+//! ranks would saturate the host exactly during capture). The scheduler
+//! outlives the lower half: restart builds the next [`mpisim::World`]
+//! generation onto the same scheduler and the parked threads wake into
+//! it.
+//!
+//! None of this touches virtual time, so the deterministic-replay
+//! contract restore relies on is preserved: app-visible
+//! [`mana_core::CallCounters`] and `SEQ[]` equality still locate a
+//! captured cut regardless of the worker bound, and `BENCH_*.json`
+//! shapes are reproducible across hosts. One knob does scale with the
+//! model: the drain-stall watchdog window defaults to
+//! [`coordinator::auto_stall_timeout`] (grows with the world size,
+//! since wall progress per rank thins out linearly once ranks outnumber
+//! workers); [`CkptOptions::with_stall_timeout`] pins it.
 
 pub mod bus;
 pub mod coordinator;
@@ -84,8 +113,12 @@ pub mod session;
 pub mod wire;
 
 pub use bus::{TargetUpdate, UpdateBus};
-pub use coordinator::{Coordinator, DrainError, ResumeMode, StorageSpec};
-pub use image::{CaptureOrigin, Checkpoint, DrainedMsg, ImageError, IMAGE_MAGIC, IMAGE_VERSION};
+pub use coordinator::{
+    auto_stall_timeout, Coordinator, DrainError, ResumeMode, StorageSpec, DEFAULT_STALL_TIMEOUT,
+};
+pub use image::{
+    CaptureOrigin, Checkpoint, DrainedMsg, ImageError, IMAGE_HEADER_LEN, IMAGE_MAGIC, IMAGE_VERSION,
+};
 pub use policy::{
     EveryNCollectives, NeverTrigger, PeriodicInterval, TriggerObservation, TriggerPolicy,
     VirtualTimeSchedule,

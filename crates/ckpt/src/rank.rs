@@ -50,6 +50,9 @@ pub struct CcRank {
     /// 2PC: ordinal of the next trivial barrier this rank posts (capture
     /// metadata: identifies *which* entry the rank was parked at).
     tb_ordinal: u64,
+    /// Wall-clock microseconds slept per [`CcRank::compute`] call (0 =
+    /// none). Virtual time is unaffected; see [`CcRank::set_wall_pace_us`].
+    wall_pace_us: u64,
 }
 
 impl CcRank {
@@ -69,6 +72,7 @@ impl CcRank {
             counters: CallCounters::default(),
             tb_req: None,
             tb_ordinal: 0,
+            wall_pace_us: 0,
         };
         let wcomm = r.ctx.comm_world();
         let ggid = ggid_of(wcomm.group());
@@ -101,9 +105,37 @@ impl CcRank {
 
     /// Advances the clock by `secs` of local computation and publishes the
     /// new clock, so trigger scheduling sees compute-bound progress too.
+    /// Under a wall pace ([`CcRank::set_wall_pace_us`]) this additionally
+    /// sleeps, with the scheduler run slot released for the duration.
     pub fn compute(&mut self, secs: f64) {
         self.ctx.compute(secs);
+        if self.wall_pace_us > 0 {
+            let us = self.wall_pace_us;
+            self.ctx.blocked(|| {
+                std::thread::sleep(std::time::Duration::from_micros(us));
+            });
+        }
         self.publish_clock();
+    }
+
+    /// Sets a wall-clock pace: every subsequent [`CcRank::compute`] call
+    /// sleeps `us` microseconds of *host* time (virtual time unaffected,
+    /// run slot released while sleeping). Harnesses use this so an
+    /// asynchronous checkpoint trigger reliably catches the run mid-flight
+    /// instead of racing a wall-fast completion.
+    pub fn set_wall_pace_us(&mut self, us: u64) {
+        self.wall_pace_us = us;
+    }
+
+    /// Sleeps `d` of wall-clock time with this rank's scheduler run slot
+    /// released; virtual time is unaffected. Rank bodies must use this
+    /// instead of `std::thread::sleep`: a plain sleep squats on one of
+    /// the `workers` run slots, and on a small host two plainly-sleeping
+    /// ranks can starve every other rank for the duration — skewing
+    /// exactly the wall-clock interleavings (trigger windows, drain
+    /// stalls) such pauses are meant to set up.
+    pub fn wall_sleep(&self, d: std::time::Duration) {
+        self.ctx.blocked(|| std::thread::sleep(d));
     }
 
     /// `MPI_COMM_WORLD`'s virtual id.
@@ -243,11 +275,14 @@ impl CcRank {
     }
 
     /// Blocks until targets for the pending checkpoint are installed.
-    /// Returns `false` if the checkpoint ended while waiting.
+    /// Returns `false` if the checkpoint ended while waiting. The wait is
+    /// a scheduler yield-point: the run slot is released while parked.
     fn await_targets(&mut self) -> bool {
         let sh = Arc::clone(&self.sh);
         let ctl = &sh.control.ranks[self.rank];
-        ctl.park_until(|| ctl.targets_ready.load(SeqCst) || !sh.control.is_pending());
+        self.ctx.blocked(|| {
+            ctl.park_until(|| ctl.targets_ready.load(SeqCst) || !sh.control.is_pending());
+        });
         if !sh.control.is_pending() {
             self.service_control();
             return false;
@@ -518,10 +553,15 @@ impl CcRank {
                 sh.trace.push(DrainEvent::Unparked(self.rank));
                 break;
             }
-            ctl.park_until(|| {
-                !sh.control.is_pending()
-                    || sh.control.phase() != CkptPhase::Draining
-                    || sh.bus.has_pending(self.rank)
+            // Parked at the wrapper entry: slotless until a raise, the
+            // quiesce signal, or the end of the checkpoint.
+            let rank = self.rank;
+            self.ctx.blocked(|| {
+                ctl.park_until(|| {
+                    !sh.control.is_pending()
+                        || sh.control.phase() != CkptPhase::Draining
+                        || sh.bus.has_pending(rank)
+                });
             });
         }
         let ctl = &sh.control.ranks[self.rank];
@@ -570,9 +610,14 @@ impl CcRank {
         sh.trace.push(DrainEvent::Quiesced(self.rank));
         let mut restarted = false;
         loop {
-            ctl.park_until(|| {
-                sh.control.resume_gen.load(SeqCst) > my_gen
-                    || (sh.control.phase() == CkptPhase::Resuming && ctl.new_world.lock().is_some())
+            // Quiesced park: the rank is captured and slotless; the
+            // coordinator (not a rank) does the capture work meanwhile.
+            self.ctx.blocked(|| {
+                ctl.park_until(|| {
+                    sh.control.resume_gen.load(SeqCst) > my_gen
+                        || (sh.control.phase() == CkptPhase::Resuming
+                            && ctl.new_world.lock().is_some())
+                });
             });
             let fresh = ctl.new_world.lock().take();
             if let Some(w) = fresh {

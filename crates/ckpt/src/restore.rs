@@ -54,6 +54,10 @@ pub struct RestoreConfig {
     pub storage: Option<StorageSpec>,
     /// Stack size for replayed rank threads.
     pub stack_size: usize,
+    /// Cooperative-scheduler worker bound for the replay and restored
+    /// worlds; `None` sizes it to the host (the same knob as
+    /// [`mpisim::WorldConfig::with_workers`] on the capture side).
+    pub workers: Option<usize>,
     /// Wall-clock budget for the pre-cut replay to go quiet. A program
     /// that does not match the image never reaches its cut; the driver
     /// panics instead of waiting forever.
@@ -67,6 +71,7 @@ impl Default for RestoreConfig {
             params: None,
             storage: None,
             stack_size: 1 << 20,
+            workers: None,
             replay_timeout: Duration::from_secs(30),
         }
     }
@@ -94,6 +99,13 @@ impl RestoreConfig {
     /// Attaches a storage model charging the image read-back.
     pub fn with_storage(mut self, storage: StorageSpec) -> Self {
         self.storage = Some(storage);
+        self
+    }
+
+    /// Pins the scheduler worker bound of the restored execution.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "worker bound must be positive");
+        self.workers = Some(workers);
         self
     }
 
@@ -136,6 +148,7 @@ where
         ranks_per_node: image.origin.ranks_per_node,
         params: image.origin.params.clone(),
         stack_size: rcfg.stack_size,
+        workers: rcfg.workers,
     };
     let restored_cfg = WorldConfig {
         ranks_per_node: rcfg.ranks_per_node.unwrap_or(image.origin.ranks_per_node),

@@ -10,7 +10,7 @@
 //! elsewhere (even onto a different node packing) with
 //! [`crate::restore_ckpt_world`].
 
-use crate::coordinator::{Coordinator, DrainError, ResumeMode, StorageSpec, DEFAULT_STALL_TIMEOUT};
+use crate::coordinator::{auto_stall_timeout, Coordinator, DrainError, ResumeMode, StorageSpec};
 use crate::image::Checkpoint;
 use crate::policy::{NeverTrigger, TriggerObservation, TriggerPolicy, VirtualTimeSchedule};
 use crate::rank::CcRank;
@@ -36,9 +36,14 @@ pub struct CkptOptions {
     /// free on the virtual clocks (unit-test arithmetic).
     pub storage: Option<StorageSpec>,
     /// Drain watchdog window before a stalled checkpoint is aborted with
-    /// [`DrainError::P2pStall`]. Wall-clock: workloads that deliberately
-    /// `sleep` longer than this during a drain will be misread as stalled.
-    pub stall_timeout: Duration,
+    /// [`DrainError::P2pStall`]. `None` (the default) scales the window
+    /// with the world size ([`auto_stall_timeout`]): under the batched
+    /// cooperative scheduler a 512-rank drain makes the same total
+    /// progress as an 8-rank one but spread over `n_ranks / workers` times
+    /// the wall clock, and a fixed window would misread that as a stall.
+    /// Wall-clock either way: workloads that deliberately `sleep` longer
+    /// than the window during a drain will be misread as stalled.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl Default for CkptOptions {
@@ -48,7 +53,7 @@ impl Default for CkptOptions {
             policy: Box::new(NeverTrigger),
             resume: ResumeMode::Continue,
             storage: None,
-            stall_timeout: DEFAULT_STALL_TIMEOUT,
+            stall_timeout: None,
         }
     }
 }
@@ -91,9 +96,10 @@ impl CkptOptions {
         self
     }
 
-    /// Overrides the drain watchdog window.
+    /// Pins the drain watchdog window instead of the world-size-scaled
+    /// default.
     pub fn with_stall_timeout(mut self, t: Duration) -> Self {
-        self.stall_timeout = t;
+        self.stall_timeout = Some(t);
         self
     }
 }
@@ -169,7 +175,10 @@ fn supervise_policy(sh: &Arc<Session>, opts: CkptOptions) -> (Vec<Checkpoint>, V
     let mut failures = Vec::new();
     let coord = Coordinator::new(Arc::clone(sh))
         .with_storage(opts.storage.clone())
-        .with_stall_timeout(opts.stall_timeout);
+        .with_stall_timeout(
+            opts.stall_timeout
+                .unwrap_or_else(|| auto_stall_timeout(sh.cfg.n_ranks, sh.cfg.resolved_workers())),
+        );
     while !policy.exhausted() && !all_finished(sh) {
         let obs = TriggerObservation {
             min_clock_ns: min_unfinished_clock_ns(sh),
@@ -205,15 +214,20 @@ where
     let mut reports: Vec<Option<RankReport<R>>> = (0..n).map(|_| None).collect();
     let mut checkpoints = Vec::new();
     let mut failures = Vec::new();
+    // The scheduler outlives every lower-half generation: grab it once
+    // here, before any restart replaces the world.
+    let sched = Arc::clone(sh.current_world().scheduler());
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(n);
         for rank in 0..n {
             let sh = Arc::clone(&sh);
+            let sched = Arc::clone(&sched);
             let f = &f;
             let h = std::thread::Builder::new()
                 .name(format!("ccrank-{rank}"))
                 .stack_size(stack_size)
                 .spawn_scoped(s, move || {
+                    sched.attach(rank);
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let mut cc = CcRank::new(Arc::clone(&sh), rank);
                         let result = f(&mut cc);
@@ -225,6 +239,9 @@ where
                             final_clock,
                         }
                     }));
+                    // Release the run slot whether the rank returned or
+                    // panicked: a dead rank must not starve its peers.
+                    sched.detach(rank);
                     if out.is_err() {
                         // Unblock the coordinator: a dead rank counts as
                         // finished so supervision loops terminate.

@@ -168,18 +168,27 @@ impl RankCtl {
         RankState::from_u8(self.state.load(Ordering::SeqCst))
     }
 
-    /// Parks the rank thread until `pred` becomes true (checked after every
-    /// wake or 200 µs).
+    /// Parks the rank thread until `pred` becomes true, re-checking on
+    /// every [`RankCtl::wake`] (with a long backstop timeout for defense
+    /// in depth). Every rank of a quiescing world parks here at once —
+    /// outside the scheduler's worker pool — so this wait must be
+    /// event-driven: a short timed poll multiplied by hundreds of parked
+    /// ranks would saturate the host exactly when the coordinator needs
+    /// it (the pre-scheduler 200 µs re-check throttled 256-rank captures
+    /// by an order of magnitude).
     pub fn park_until(&self, mut pred: impl FnMut() -> bool) {
         let mut guard = self.park.lock();
         while !pred() {
-            self.park_cv
-                .wait_for(&mut guard, Duration::from_micros(200));
+            self.park_cv.wait_for(&mut guard, Duration::from_millis(5));
         }
     }
 
-    /// Wakes a parked rank (coordinator side).
+    /// Wakes a parked rank (coordinator side). The notification is issued
+    /// under the park mutex, so a rank between its predicate check and
+    /// its wait can never miss it (the predicate's state is always
+    /// published *before* `wake` is called).
     pub fn wake(&self) {
+        let _guard = self.park.lock();
         self.park_cv.notify_all();
     }
 }

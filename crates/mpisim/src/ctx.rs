@@ -22,9 +22,24 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// How long a blocked rank parks between re-checks of external conditions.
+/// How long a blocked rank parks between re-checks of external conditions
+/// in slot-bounded polling loops (at most `workers` ranks sit here).
 /// Wall-clock only; virtual time is unaffected.
 const PARK: Duration = Duration::from_micros(200);
+
+/// Backstop for the slotless blocked-receive wait. Unlike [`PARK`] loops,
+/// *every* rank of a large world can sit in a blocked receive at once, so
+/// the wait must be event-driven (mailbox deposits notify it); the
+/// timeout only guards against a pathological lost wakeup.
+const RECV_PARK: Duration = Duration::from_millis(5);
+
+/// Consecutive slot rotations a polling loop performs before it naps.
+/// When every run slot is held by a poller waiting on something none of
+/// them produces (say, the checkpoint supervision thread's next trigger
+/// poll), rotation alone would spin the whole pool at full host CPU;
+/// after this many unbroken rotations the poller sleeps briefly —
+/// slotless — instead.
+const YIELD_STREAK_NAP: u32 = 64;
 
 /// One rank's connection to the simulated MPI world.
 pub struct Ctx {
@@ -35,6 +50,9 @@ pub struct Ctx {
     comm_seqs: HashMap<CommId, u64>,
     /// Per-destination send sequence (non-overtaking bookkeeping).
     send_seqs: HashMap<usize, u64>,
+    /// Consecutive [`Ctx::park_briefly`] slot rotations without an
+    /// intervening nap (spin bound — see [`YIELD_STREAK_NAP`]).
+    yield_streak: std::cell::Cell<u32>,
 }
 
 impl Ctx {
@@ -47,6 +65,7 @@ impl Ctx {
             clock: VTime::ZERO,
             comm_seqs: HashMap::new(),
             send_seqs: HashMap::new(),
+            yield_streak: std::cell::Cell::new(0),
         }
     }
 
@@ -113,10 +132,38 @@ impl Ctx {
         self.send_seqs.clear();
     }
 
-    /// Parks the calling thread briefly or until mailbox activity; used by
-    /// polling loops to avoid burning host CPU. Wall-clock only.
+    /// The cooperative yield-point of polling loops. Under scheduler
+    /// contention this rotates the rank's run slot to the next queued rank
+    /// (round-robin); otherwise it parks briefly or until mailbox
+    /// activity, so idle polls do not burn host CPU. A long unbroken
+    /// streak of rotations means every slot holder is a poller waiting on
+    /// something none of them produces — the streak is capped with a
+    /// slotless nap so the pool cannot spin at full CPU against an
+    /// external event source. Wall-clock only; virtual time is
+    /// unaffected.
     pub fn park_briefly(&self) {
-        self.world.mailbox(self.world_rank).wait_activity(PARK);
+        if self.world.sched.yield_now(self.world_rank) {
+            let streak = self.yield_streak.get() + 1;
+            if streak < YIELD_STREAK_NAP {
+                self.yield_streak.set(streak);
+                return;
+            }
+        }
+        self.yield_streak.set(0);
+        let mb = self.world.mailbox(self.world_rank);
+        let token = mb.activity_token();
+        self.world
+            .sched
+            .blocking(self.world_rank, || mb.wait_activity_since(token, PARK));
+    }
+
+    /// Runs `f` — a wait that may block on a condition variable — with
+    /// this rank's scheduler run slot released, re-acquiring it before
+    /// returning. Exposed for the checkpoint layer's park paths (drain
+    /// gate, trivial barrier, quiesce); all blocking waits inside `Ctx`
+    /// already use it.
+    pub fn blocked<T>(&self, f: impl FnOnce() -> T) -> T {
+        self.world.sched.blocking(self.world_rank, f)
     }
 
     fn check_epoch(&self, comm: &Comm) {
@@ -378,23 +425,38 @@ impl Ctx {
             }) => {
                 let msg = match matched {
                     Some(m) => m,
-                    None => loop {
-                        let spec = MatchSpec {
-                            comm: comm.id(),
-                            group: comm.group(),
-                            src,
-                            tag,
-                        };
-                        if let Some(m) = self.world.mailbox(self.world_rank).take_match(&spec) {
-                            break m;
-                        }
-                        self.world.mailbox(self.world_rank).wait_activity(PARK);
-                    },
+                    None => {
+                        let world = &self.world;
+                        let rank = self.world_rank;
+                        // Blocked receive: release the run slot while
+                        // waiting on the mailbox (woken by deposits).
+                        world.sched.blocking(rank, || loop {
+                            // Token before the scan: a deposit racing the
+                            // scan is seen by `wait_activity_since`, so
+                            // the long backstop is never paid for it.
+                            let token = world.mailbox(rank).activity_token();
+                            let spec = MatchSpec {
+                                comm: comm.id(),
+                                group: comm.group(),
+                                src,
+                                tag,
+                            };
+                            if let Some(m) = world.mailbox(rank).take_match(&spec) {
+                                break m;
+                            }
+                            world.mailbox(rank).wait_activity_since(token, RECV_PARK);
+                        })
+                    }
                 };
                 self.finish_recv(&comm, msg)
             }
             Some(ReqKind::Coll { inst, group_rank }) => {
-                let res = inst.wait_and_take(group_rank);
+                // Collective rendezvous park: slotless until the last
+                // participant completes the instance.
+                let res = self
+                    .world
+                    .sched
+                    .blocking(self.world_rank, || inst.wait_and_take(group_rank));
                 self.finish_coll(&inst.key, res)
             }
         }
@@ -601,7 +663,11 @@ impl Ctx {
             self.world.topology(),
         );
         inst.enter(comm.rank(), self.clock, payload, op, root, red);
-        let res = inst.wait_and_take(comm.rank());
+        let group_rank = comm.rank();
+        let res = self
+            .world
+            .sched
+            .blocking(self.world_rank, || inst.wait_and_take(group_rank));
         let key = inst.key;
         if res.last {
             self.world.coll.retire(key);

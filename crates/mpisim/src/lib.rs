@@ -3,9 +3,16 @@
 //! `mpisim` is the "MPI library + network" substrate for the `mana-cc`
 //! reproduction of *Enabling Practical Transparent Checkpointing for MPI: A
 //! Topological Sort Approach* (CLUSTER 2024). Every simulated MPI process
-//! (**rank**) is an OS thread; ranks communicate through in-memory mailboxes
+//! (**rank**) owns an OS thread that serves as its continuation, but rank
+//! *execution* is multiplexed by the batched cooperative scheduler
+//! ([`sched`]): only `~num_cpus` ranks run at any instant, every blocking
+//! wait releases its run slot, and polling loops rotate slots round-robin
+//! at their yield-points — which is what lets a single host carry the
+//! paper's 512-rank worlds. Ranks communicate through in-memory mailboxes
 //! and collective rendezvous instances, while a per-rank **virtual clock**
 //! (see [`netmodel`]) accounts for the time a real cluster would spend.
+//! The scheduler never touches virtual time, so timing results are
+//! independent of the worker bound.
 //!
 //! The crate implements the slice of the MPI-4.0 semantics that the paper's
 //! checkpointing protocols observe:
@@ -46,6 +53,7 @@ pub mod mailbox;
 pub mod msg;
 pub mod reduce_op;
 pub mod request;
+pub mod sched;
 pub mod types;
 pub mod world;
 
@@ -57,6 +65,7 @@ pub use group::Group;
 pub use msg::{SavedMsg, Status};
 pub use reduce_op::ReduceOp;
 pub use request::{Completion, Request};
+pub use sched::Scheduler;
 pub use types::{SrcSel, Tag, TagSel};
 pub use world::{run_world, RankReport, World, WorldConfig, WorldReport};
 

@@ -89,17 +89,34 @@ impl Mailbox {
         })
     }
 
-    /// Blocks the calling thread until the mailbox changes or `timeout`
-    /// elapses. Used by blocking receives and the drain protocol's probe
-    /// loop so idle ranks do not burn host CPU.
-    pub fn wait_activity(&self, timeout: Duration) {
+    /// Snapshot of the deposit counter, for race-free waiting: take the
+    /// token *before* scanning the queue, then pass it to
+    /// [`Mailbox::wait_activity_since`] — a deposit landing between the
+    /// scan and the wait bumps the counter and the wait returns at once.
+    pub fn activity_token(&self) -> u64 {
+        *self.generation.lock()
+    }
+
+    /// Blocks the calling thread until a deposit lands after `token` was
+    /// taken, or `timeout` elapses. Event-driven: a deposit that raced
+    /// the caller's queue scan is detected through the token and never
+    /// costs the timeout.
+    pub fn wait_activity_since(&self, token: u64, timeout: Duration) {
         let mut gen = self.generation.lock();
-        let before = *gen;
-        // Re-check under the lock: if a deposit raced us, return at once.
-        if *gen != before {
+        if *gen != token {
             return;
         }
         self.cv.wait_for(&mut gen, timeout);
+    }
+
+    /// Blocks until the mailbox changes or `timeout` elapses. A deposit
+    /// arriving between the caller's last queue scan and this call is
+    /// *not* detected (take a token first for that — see
+    /// [`Mailbox::activity_token`]); use only for idle naps where an
+    /// extra `timeout` of latency is acceptable.
+    pub fn wait_activity(&self, timeout: Duration) {
+        let token = self.activity_token();
+        self.wait_activity_since(token, timeout);
     }
 
     /// Number of queued (unmatched) messages.
@@ -235,6 +252,21 @@ mod tests {
         assert_eq!(drained.len(), 2);
         assert!(mb.is_empty());
         let _ = g;
+    }
+
+    #[test]
+    fn wait_since_token_sees_raced_deposit() {
+        // A deposit landing between the token snapshot and the wait must
+        // make the wait return immediately, not after the timeout.
+        let mb = Mailbox::new();
+        let token = mb.activity_token();
+        mb.deposit(msg(1, 0, 1, 0));
+        let t = std::time::Instant::now();
+        mb.wait_activity_since(token, Duration::from_secs(5));
+        assert!(
+            t.elapsed() < Duration::from_secs(1),
+            "raced deposit must not cost the timeout"
+        );
     }
 
     #[test]

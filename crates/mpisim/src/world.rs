@@ -5,6 +5,13 @@
 //! restart the checkpoint engine discards the old `World` and attaches a
 //! fresh one to the surviving rank threads ([`crate::Ctx::attach_world`]) —
 //! nothing in here is ever saved in a checkpoint image.
+//!
+//! Rank execution is multiplexed by the batched cooperative
+//! [`Scheduler`]: each rank owns a thread (its
+//! continuation), but only `workers` ranks run at once — see
+//! [`crate::sched`] for the contract. The scheduler outlives the `World`:
+//! restart builds the next generation onto the same scheduler with
+//! [`World::with_epoch_attached`].
 
 use crate::collective::CollRegistry;
 use crate::comm::{CommInner, SplitKey};
@@ -12,6 +19,7 @@ use crate::ctx::Ctx;
 use crate::group::Group;
 use crate::mailbox::Mailbox;
 use crate::msg::InFlightMsg;
+use crate::sched::Scheduler;
 use crate::types::{CommId, COMM_WORLD_ID};
 use netmodel::{NetParams, Topology, VTime};
 use parking_lot::{Mutex, RwLock};
@@ -30,6 +38,9 @@ pub struct WorldConfig {
     pub params: NetParams,
     /// Stack size for rank threads spawned by [`run_world`].
     pub stack_size: usize,
+    /// Concurrently-running rank bound for the cooperative scheduler;
+    /// `None` sizes it to the host ([`Scheduler::default_workers`]).
+    pub workers: Option<usize>,
 }
 
 impl WorldConfig {
@@ -40,6 +51,7 @@ impl WorldConfig {
             ranks_per_node: n.max(1),
             params: NetParams::default(),
             stack_size: 1 << 20,
+            workers: None,
         }
     }
 
@@ -50,6 +62,7 @@ impl WorldConfig {
             ranks_per_node: rpn,
             params: NetParams::default(),
             stack_size: 1 << 20,
+            workers: None,
         }
     }
 
@@ -57,6 +70,20 @@ impl WorldConfig {
     pub fn with_params(mut self, params: NetParams) -> Self {
         self.params = params;
         self
+    }
+
+    /// Overrides the scheduler's concurrently-running rank bound.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "worker bound must be positive");
+        self.workers = Some(workers);
+        self
+    }
+
+    /// The resolved worker bound for this config.
+    pub fn resolved_workers(&self) -> usize {
+        self.workers
+            .unwrap_or_else(Scheduler::default_workers)
+            .min(self.n_ranks.max(1))
     }
 }
 
@@ -71,20 +98,40 @@ pub struct World {
     pub(crate) next_comm: AtomicU64,
     pub(crate) coll: CollRegistry,
     pub(crate) next_instance: AtomicU64,
+    /// The cooperative rank scheduler. Shared across lower-half
+    /// generations: restart replaces the `World`, never the scheduler.
+    pub(crate) sched: Arc<Scheduler>,
     /// Lower-half generation: 0 for the initial world, incremented by the
     /// checkpoint engine at each restart.
     pub epoch: u64,
 }
 
 impl World {
-    /// Builds a world (generation 0).
+    /// Builds a world (generation 0) with a fresh scheduler.
     pub fn new(cfg: WorldConfig) -> Arc<World> {
         Self::with_epoch(cfg, 0)
     }
 
-    /// Builds a world with an explicit lower-half generation (restart path).
+    /// Builds a world with an explicit lower-half generation and a fresh
+    /// scheduler.
     pub fn with_epoch(cfg: WorldConfig, epoch: u64) -> Arc<World> {
+        let sched = Scheduler::new(cfg.n_ranks.max(1), cfg.resolved_workers());
+        Self::with_epoch_attached(cfg, epoch, sched)
+    }
+
+    /// **Restart hook.** Builds a fresh lower half attached to an existing
+    /// scheduler: the surviving rank threads keep their run slots and wake
+    /// into the new generation.
+    ///
+    /// # Panics
+    /// Panics if the scheduler was sized for a different rank count.
+    pub fn with_epoch_attached(cfg: WorldConfig, epoch: u64, sched: Arc<Scheduler>) -> Arc<World> {
         assert!(cfg.n_ranks > 0, "world needs at least one rank");
+        assert_eq!(
+            sched.n_ranks(),
+            cfg.n_ranks,
+            "scheduler sized for a different world"
+        );
         let topo = Topology::new(cfg.n_ranks, cfg.ranks_per_node);
         let mut comms = HashMap::new();
         comms.insert(
@@ -105,8 +152,15 @@ impl World {
             next_comm: AtomicU64::new(1),
             coll: CollRegistry::new(),
             next_instance: AtomicU64::new(1),
+            sched,
             epoch,
         })
+    }
+
+    /// The cooperative rank scheduler this world's ranks run under.
+    #[inline]
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.sched
     }
 
     /// Number of ranks.
@@ -259,8 +313,11 @@ impl<R> WorldReport<R> {
     }
 }
 
-/// Spawns one thread per rank, runs `f` on each, and reports results and
-/// virtual-time makespan. Panics in any rank propagate.
+/// Spawns one thread per rank (a parked continuation under the cooperative
+/// scheduler), runs `f` on each, and reports results and virtual-time
+/// makespan. At most [`WorldConfig::workers`] ranks execute concurrently.
+/// Panics in any rank propagate; the panicking rank's run slot is released
+/// first so its peers are not starved while they run down.
 pub fn run_world<R, F>(cfg: WorldConfig, f: F) -> WorldReport<R>
 where
     R: Send,
@@ -277,12 +334,21 @@ where
                 .name(format!("rank-{rank}"))
                 .stack_size(cfg.stack_size)
                 .spawn_scoped(s, move || {
-                    let mut ctx = Ctx::new(world, rank);
-                    let result = f(&mut ctx);
-                    RankReport {
-                        rank,
-                        result,
-                        final_clock: ctx.clock(),
+                    let sched = Arc::clone(world.scheduler());
+                    sched.attach(rank);
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut ctx = Ctx::new(world, rank);
+                        let result = f(&mut ctx);
+                        RankReport {
+                            rank,
+                            result,
+                            final_clock: ctx.clock(),
+                        }
+                    }));
+                    sched.detach(rank);
+                    match out {
+                        Ok(rep) => rep,
+                        Err(p) => std::panic::resume_unwind(p),
                     }
                 })
                 .expect("failed to spawn rank thread");

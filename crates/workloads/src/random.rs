@@ -71,6 +71,11 @@ pub fn random_workload(cfg: &RandomWorkloadCfg, rank: &mut CcRank) -> f64 {
     // Sub-communicators created by earlier split/dup steps.
     let mut subcomms: Vec<VComm> = Vec::new();
 
+    // The pace rides on `compute` (one call per step): the wall sleep
+    // happens with the scheduler run slot released, so pacing a 512-rank
+    // world does not serialize it through the worker pool.
+    rank.set_wall_pace_us(cfg.pace_us);
+
     for step in 0..cfg.steps {
         // Deterministic per-rank compute skew so drains catch ranks at
         // genuinely different points.
@@ -79,9 +84,6 @@ pub fn random_workload(cfg: &RandomWorkloadCfg, rank: &mut CcRank) -> f64 {
             .wrapping_add(step as u64 * 40503)
             % 97) as f64;
         rank.compute(1e-6 + skew * 2e-8);
-        if cfg.pace_us > 0 {
-            std::thread::sleep(std::time::Duration::from_micros(cfg.pace_us));
-        }
 
         // All rng draws below happen identically on every rank.
         let op = rng.next_range(100);

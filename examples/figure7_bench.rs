@@ -1,0 +1,50 @@
+//! The Figure 7 bench: CC drain latency vs. collective rate across
+//! workloads and world sizes, under the batched cooperative scheduler.
+//! Writes `BENCH_figure7.json` into the current directory, next to the
+//! other bench artifacts.
+//!
+//! ```sh
+//! cargo run --release --example figure7_bench
+//! # paper-scale sweep (64..512 ranks; release build strongly advised):
+//! FIGURE7_SCALE=paper cargo run --release --example figure7_bench
+//! ```
+
+use bench::{figure7_report, figure7_to_json, Figure7Config};
+
+fn main() {
+    let cfg = match std::env::var("FIGURE7_SCALE").as_deref() {
+        Ok("paper") => Figure7Config::paper_scale(),
+        _ => Figure7Config::default(),
+    };
+    let report = figure7_report(&cfg);
+
+    println!(
+        "{:<16} {:>6} {:>14} {:>16} {:>22}",
+        "workload", "ranks", "coll rate(Hz)", "max drain(s)", "max drain(intervals)"
+    );
+    for r in &report {
+        println!(
+            "{:<16} {:>6} {:>14.1} {:>16.4e} {:>22.2}",
+            r.workload,
+            r.ranks,
+            r.coll_rate_hz,
+            r.max_latency_s(),
+            r.max_latency_intervals(),
+        );
+    }
+
+    // The Figure 7 shape, asserted so CI catches a regression: every cell
+    // fired all its checkpoints with finite latency, and the CC drain
+    // stays bounded as worlds grow — the largest world's worst drain is
+    // within a small factor of the smallest world's worst drain measured
+    // in collective intervals.
+    bench::figure7::assert_figure7_shape(&report, cfg.checkpoints);
+
+    let json = figure7_to_json(&report);
+    std::fs::write("BENCH_figure7.json", &json).expect("write BENCH_figure7.json");
+    println!(
+        "\nwrote BENCH_figure7.json ({} cells, {} bytes)",
+        report.len(),
+        json.len()
+    );
+}
