@@ -1,0 +1,86 @@
+//! Backstop-expiry regression tier: every unbounded wait in the system
+//! (scheduler slot grants, mailbox receive waits, the checkpoint layer's
+//! control parks) is event-driven, with long timeouts kept only as
+//! lost-wakeup backstops. A regression back to timed polling is invisible
+//! to every functional test — results stay bit-identical, only host
+//! sys-time blows up once worlds get big (the exact failure PR 4 fixed:
+//! 200 µs re-checks throttling 256-rank captures ~30×). These tests pin
+//! the property directly: across full checkpointed runs — drain, quiesce,
+//! capture, restart, resume — the per-world counter of backstop-expiry
+//! wakeups stays at zero, because every wake arrives from the event that
+//! was being waited on.
+
+use ckpt::{run_ckpt_world, CkptOptions, ResumeMode};
+use mana_core::Protocol;
+use mpisim::{NetParams, VTime, WorldConfig};
+use workloads::{random_workload, RandomWorkloadCfg};
+
+fn cfg(n: usize) -> WorldConfig {
+    WorldConfig::single_node(n).with_params(NetParams::slingshot11().without_jitter())
+}
+
+/// One checkpointed run; returns the expiry count after asserting the
+/// checkpoint actually fired (an idle run would trivially count zero).
+fn expiries_of(seed: u64, mode: ResumeMode, protocol: Protocol) -> u64 {
+    let mut wl = RandomWorkloadCfg::new(seed, 25);
+    if protocol == Protocol::TwoPhase {
+        wl = wl.with_blocking_only();
+    }
+    let native = run_ckpt_world(cfg(8), CkptOptions::native().with_protocol(protocol), |r| {
+        random_workload(&wl, r)
+    });
+    let at = VTime::from_secs(native.makespan.as_secs() * 0.4);
+    let paced = wl.clone().with_pace_us(20);
+    let run = run_ckpt_world(
+        cfg(8),
+        CkptOptions::one_checkpoint(at, mode).with_protocol(protocol),
+        |r| random_workload(&paced, r),
+    );
+    assert_eq!(
+        run.checkpoints.len(),
+        1,
+        "seed {seed}: the checkpoint must fire for the run to exercise \
+         the drain/quiesce/resume wait paths"
+    );
+    assert!(run.failures.is_empty(), "seed {seed}: {:?}", run.failures);
+    run.backstop_expiries
+}
+
+/// The steady-state property: full CC checkpoint + restart and + continue
+/// runs complete without a single backstop-expiry wakeup — every park in
+/// the system was woken by its event, never by its timeout.
+#[test]
+fn checkpointed_runs_pay_no_backstop_expiries() {
+    for seed in 0..4 {
+        let mode = if seed % 2 == 0 {
+            ResumeMode::Restart
+        } else {
+            ResumeMode::Continue
+        };
+        let expiries = expiries_of(seed, mode, Protocol::Cc);
+        assert_eq!(
+            expiries, 0,
+            "seed {seed} ({mode:?}): a backstop timeout fired — some wait \
+             regressed from event-driven to timed polling"
+        );
+    }
+}
+
+/// Same property under 2PC, whose capture parks ranks *inside* trivial
+/// barriers (a different park path than the CC drain gate).
+#[test]
+fn two_phase_runs_pay_no_backstop_expiries() {
+    for seed in 0..2 {
+        let mode = if seed % 2 == 0 {
+            ResumeMode::Restart
+        } else {
+            ResumeMode::Continue
+        };
+        let expiries = expiries_of(seed, mode, Protocol::TwoPhase);
+        assert_eq!(
+            expiries, 0,
+            "seed {seed} ({mode:?}, 2PC): a backstop timeout fired — some \
+             wait regressed from event-driven to timed polling"
+        );
+    }
+}

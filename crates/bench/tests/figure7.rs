@@ -44,3 +44,21 @@ fn large_scale_figure7_shape_to_512_ranks() {
         "figure7 sweep collapsed to a single collective rate: {rates:?}"
     );
 }
+
+/// Beyond the paper: the {1024, 2048, 4096}-rank sweep. The headline
+/// claim — drain-latency percentiles flat in collective-interval units as
+/// ranks grow — must survive three more doublings past Figure 7's top
+/// operating point. Behind the `large_scale` tier filter but skipped by
+/// the CI job (`--skip 4096`): this is the most expensive case in the
+/// repo and runs locally.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "large-scale tier is release-only: cargo test --release -p bench -- large_scale"
+)]
+fn large_scale_xl_figure7_shape_to_4096_ranks() {
+    let cfg = Figure7Config::xl_scale();
+    let report = figure7_report(&cfg);
+    assert_eq!(report.len(), 3 * cfg.ranks.len());
+    assert_figure7_shape(&report, cfg.checkpoints);
+}

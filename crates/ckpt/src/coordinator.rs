@@ -43,16 +43,28 @@ const POLL: Duration = Duration::from_micros(100);
 /// one — keep the window comfortably above any deliberate pauses.
 pub const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Ceiling on the world-size-scaled stall window. The watchdog fires on
+/// *no observable progress at all* — any rank's clock, state, sequence
+/// table, or update counter changing resets it — and even a 4096-rank
+/// drain multiplexed onto two workers changes *something* every few
+/// scheduling quanta while healthy. Extrapolating the per-round slope all
+/// the way up (a 2048:2 ratio would ask for minutes) buys no safety but
+/// turns a genuine rendezvous regression into a hung CI job; the cap
+/// keeps "wedged" detectable within a bounded budget at every scale.
+pub const MAX_AUTO_STALL: Duration = Duration::from_secs(60);
+
 /// The world-size-scaled stall window used when [`crate::CkptOptions`]
 /// does not pin one. Under the batched cooperative scheduler a drain's
 /// total work grows with the rank count while only `workers` ranks run
 /// at once, so per-rank wall progress thins out by the multiplexing
 /// ratio `n_ranks / workers`; the window grows by that many scheduling
-/// rounds so a healthy 512-rank drain on a small host is never misread
-/// as a p2p stall, while a wide host keeps a tight watchdog.
+/// rounds — capped at [`MAX_AUTO_STALL`] — so a healthy 512-rank drain
+/// on a small host is never misread as a p2p stall, a wide host keeps a
+/// tight watchdog, and a wedged 4096-rank drain still fails fast instead
+/// of hanging its CI job.
 pub fn auto_stall_timeout(n_ranks: usize, workers: usize) -> Duration {
     let rounds = n_ranks.div_ceil(workers.max(1)) as u64;
-    DEFAULT_STALL_TIMEOUT + Duration::from_millis(rounds * 80)
+    (DEFAULT_STALL_TIMEOUT + Duration::from_millis(rounds * 80)).min(MAX_AUTO_STALL)
 }
 
 /// What happens after the image is captured.
@@ -101,6 +113,23 @@ pub enum DrainError {
         /// Ranks that had not met their targets when the stall was declared.
         stalled: Vec<usize>,
     },
+    /// The p2p drain-accounting identity failed at capture: the per-rank
+    /// send/delivery counts recorded in the captures do not balance
+    /// against the drained in-flight messages and coordinator
+    /// re-deposits, i.e. the quiesced state silently lost or duplicated a
+    /// message (the failure class MANA's 2PC guards against with
+    /// send/receive counts). The capture was refused and the application
+    /// resumed on its current lower half.
+    P2pAccounting {
+        /// Σ per-rank messages deposited this generation.
+        sent: u64,
+        /// Σ per-rank messages delivered this generation.
+        delivered: u64,
+        /// Messages the coordinator injected from outside rank sends.
+        redeposited: u64,
+        /// Messages checkpoint drains removed (including this capture's).
+        drained: u64,
+    },
 }
 
 impl std::fmt::Display for DrainError {
@@ -110,6 +139,19 @@ impl std::fmt::Display for DrainError {
                 write!(
                     f,
                     "checkpoint drain stalled on ranks {stalled:?} (p2p dependency)"
+                )
+            }
+            DrainError::P2pAccounting {
+                sent,
+                delivered,
+                redeposited,
+                drained,
+            } => {
+                write!(
+                    f,
+                    "p2p drain accounting failed at capture: sent {sent} + redeposited \
+                     {redeposited} != delivered {delivered} + drained {drained} \
+                     (a message was lost or duplicated across the cut)"
                 )
             }
         }
@@ -315,6 +357,28 @@ impl Coordinator {
             in_flight.extend(queue);
         }
 
+        // Drain-completeness cross-check (the first step of MANA-style 2PC
+        // send/receive-count draining): every message any rank deposited
+        // this generation must now be accounted for as delivered or as
+        // part of a drain. A quiesce that dropped a matched-but-
+        // uncompleted receive, or a restart that double-deposited, shows
+        // up here as a typed error instead of a silently-wrong image.
+        let (redeposited, drained) = world.p2p_accounting();
+        let sent: u64 = captures.iter().map(|c| c.p2p_sent).sum();
+        let delivered: u64 = captures.iter().map(|c| c.p2p_delivered).sum();
+        if let Err(e) = p2p_accounting_check(sent, delivered, redeposited, drained) {
+            // Refuse the capture but leave the application runnable: the
+            // drained messages go back where they were and the ranks
+            // resume on the current lower half.
+            for d in &in_flight {
+                let comm = captures[d.saved.dst_world].vcomm_to_lower[&d.saved.vcomm];
+                world.deposit_raw(self.rebuild_msg(&d.saved, comm), d.arrival);
+            }
+            sh.trace.push(DrainEvent::Aborted);
+            self.release_quiesced_ranks();
+            return Err(e);
+        }
+
         let cut_events = sh.exec_log.events();
         let mut achieved: HashMap<Ggid, u64> = HashMap::new();
         for c in &captures {
@@ -368,12 +432,24 @@ impl Coordinator {
             }
             ResumeMode::Restart => self.resume_restart(&ckpt, sh.cfg.clone()),
         }
+        self.release_quiesced_ranks();
+        sh.trace.push(DrainEvent::Resumed);
+        Ok(ckpt)
+    }
+
+    /// Releases every quiesced rank back into the application and tears
+    /// down the per-checkpoint state: bumps the resume generation (the
+    /// quiesce parks' wake condition), withdraws the pending flag, and
+    /// resets targets/update counters and the bus. Shared by the normal
+    /// resume path and the capture-refusal path (e.g. a failed p2p
+    /// accounting check) — the two must stay in lockstep or refused
+    /// captures leave the world wedged.
+    fn release_quiesced_ranks(&self) {
+        let control = &self.sh.control;
         control.resume_gen.fetch_add(1, SeqCst);
         control.clear_pending();
         control.reset_after_checkpoint();
-        sh.bus.reset();
-        sh.trace.push(DrainEvent::Resumed);
-        Ok(ckpt)
+        self.sh.bus.reset();
     }
 
     /// The restart resume path, shared by in-process
@@ -409,6 +485,19 @@ impl Coordinator {
             *control.ranks[i].pending_barrier.lock() = pending_barrier;
             *control.ranks[i].restored_counters.lock() = Some(counters);
             *control.ranks[i].new_world.lock() = Some(Arc::clone(&new_world));
+        }
+        // Finished ranks keep their last published capture, whose p2p flow
+        // counts belong to the generation that is being discarded; the new
+        // generation owes them nothing. Zero the flow so the next
+        // capture's accounting identity sums current-generation traffic
+        // only (live ranks reset their own counters when they attach).
+        for i in 0..control.n_ranks {
+            if control.ranks[i].state() == RankState::Finished {
+                if let Some(cap) = control.ranks[i].capture_slot.lock().as_mut() {
+                    cap.p2p_sent = 0;
+                    cap.p2p_delivered = 0;
+                }
+            }
         }
         control.set_phase(CkptPhase::Resuming);
         while (control.replayed_count.load(SeqCst) as usize) < live.len() {
@@ -589,6 +678,35 @@ pub(crate) fn image_file_layout(
     (nodes, files_per_node, bytes_per_file)
 }
 
+/// The p2p drain-accounting identity checked at every capture:
+///
+/// ```text
+/// Σ rank sends + coordinator re-deposits == Σ rank deliveries + drained
+/// ```
+///
+/// All terms are per-lower-half-generation. At a quiesced capture every
+/// matched-but-uncompleted receive has been reverted into its mailbox, so
+/// a message is in exactly one of three places — delivered, drained into
+/// the image, or injected-and-then-drained — and any imbalance means the
+/// cut lost or duplicated one.
+pub(crate) fn p2p_accounting_check(
+    sent: u64,
+    delivered: u64,
+    redeposited: u64,
+    drained: u64,
+) -> Result<(), DrainError> {
+    if sent + redeposited == delivered + drained {
+        Ok(())
+    } else {
+        Err(DrainError::P2pAccounting {
+            sent,
+            delivered,
+            redeposited,
+            drained,
+        })
+    }
+}
+
 /// Wall-clock no-progress watchdog over an opaque fingerprint.
 struct StallWatch {
     window: Duration,
@@ -614,5 +732,35 @@ impl StallWatch {
             return false;
         }
         self.last_change.elapsed() >= self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_accounting_balance() {
+        // Clean run: everything sent was delivered or drained.
+        assert!(p2p_accounting_check(10, 7, 0, 3).is_ok());
+        // Restart generation: only coordinator seeds in flight.
+        assert!(p2p_accounting_check(0, 3, 4, 1).is_ok());
+        // A lost message (drained + delivered short of sends) is typed.
+        let e = p2p_accounting_check(10, 7, 0, 2).unwrap_err();
+        assert!(matches!(e, DrainError::P2pAccounting { sent: 10, .. }));
+        assert!(e.to_string().contains("lost or duplicated"));
+        // A duplicated message fails the other way.
+        assert!(p2p_accounting_check(10, 11, 0, 0).is_err());
+    }
+
+    #[test]
+    fn auto_stall_window_is_capped() {
+        // Slope still applies at moderate multiplexing ratios…
+        assert!(auto_stall_timeout(512, 2) > auto_stall_timeout(64, 2));
+        // …but extreme ratios (4096 ranks on a 2-worker host) saturate at
+        // the fail-fast ceiling instead of extrapolating to minutes.
+        assert_eq!(auto_stall_timeout(4096, 2), MAX_AUTO_STALL);
+        assert_eq!(auto_stall_timeout(8192, 2), MAX_AUTO_STALL);
+        assert!(auto_stall_timeout(2048, 2) <= MAX_AUTO_STALL);
     }
 }

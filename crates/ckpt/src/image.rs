@@ -26,8 +26,10 @@ use std::path::Path;
 /// Magic bytes opening every serialized image.
 pub const IMAGE_MAGIC: [u8; 8] = *b"MANACKPT";
 
-/// Current image wire-format version.
-pub const IMAGE_VERSION: u32 = 1;
+/// Current image wire-format version. Version 2 added the per-generation
+/// p2p flow counts (`p2p_sent`/`p2p_delivered`) to every rank capture —
+/// the drain-accounting evidence the coordinator cross-checks at capture.
+pub const IMAGE_VERSION: u32 = 2;
 
 /// Byte offset of the header's `u32` format-version word.
 pub const IMAGE_VERSION_OFFSET: usize = IMAGE_MAGIC.len();
@@ -618,6 +620,8 @@ fn enc_capture(e: &mut Enc, c: &RuntimeCapture) {
         }
     }
     enc_counters(e, &c.counters);
+    e.u64(c.p2p_sent);
+    e.u64(c.p2p_delivered);
     let mut lower: Vec<(u64, u64)> = c.vcomm_to_lower.iter().map(|(v, c)| (*v, c.0)).collect();
     lower.sort_unstable();
     e.usize(lower.len());
@@ -674,6 +678,8 @@ fn dec_capture(d: &mut Dec) -> Result<RuntimeCapture, ImageError> {
         _ => return Err(ImageError::Malformed("pending-barrier tag")),
     };
     let counters = dec_counters(d)?;
+    let p2p_sent = d.u64("p2p sent")?;
+    let p2p_delivered = d.u64("p2p delivered")?;
     let n_lower = d.seq_len("vcomm-lower count")?;
     let mut vcomm_to_lower = HashMap::with_capacity(n_lower);
     for _ in 0..n_lower {
@@ -694,6 +700,8 @@ fn dec_capture(d: &mut Dec) -> Result<RuntimeCapture, ImageError> {
         pending_recvs,
         pending_barrier,
         counters,
+        p2p_sent,
+        p2p_delivered,
         vcomm_to_lower,
         vcomm_members,
     })
@@ -857,6 +865,8 @@ mod tests {
                     drain_updates_sent: 2,
                     ..Default::default()
                 },
+                p2p_sent: 4 + rank as u64,
+                p2p_delivered: 3,
                 vcomm_to_lower: [(0u64, CommId(0)), (2, CommId(4))].into_iter().collect(),
                 vcomm_members: [(0u64, vec![0, 1]), (2, vec![1, 0])].into_iter().collect(),
             });

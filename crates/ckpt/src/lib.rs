@@ -79,7 +79,8 @@
 //! continuation), but execution is multiplexed by [`mpisim::Scheduler`]:
 //! only `~num_cpus` ranks hold run slots at any instant
 //! ([`mpisim::world::WorldConfig::workers`] overrides the bound), which
-//! is what carries the paper's 512-rank worlds on one host. Every park
+//! is what carries the paper's 512-rank worlds — and the beyond-paper
+//! 4096-rank tier — on one host. Every park
 //! in this crate is a scheduler **yield-point** — the drain gate's
 //! entry park, the 2PC trivial-barrier poll, the cooperative p2p wait,
 //! and the quiesce/capture park all release their slot for the duration
@@ -115,15 +116,17 @@ pub mod wire;
 pub use bus::{TargetUpdate, UpdateBus};
 pub use coordinator::{
     auto_stall_timeout, Coordinator, DrainError, ResumeMode, StorageSpec, DEFAULT_STALL_TIMEOUT,
+    MAX_AUTO_STALL,
 };
 pub use image::{
     CaptureOrigin, Checkpoint, DrainedMsg, ImageError, IMAGE_HEADER_LEN, IMAGE_MAGIC, IMAGE_VERSION,
 };
+pub use mpisim::SpawnError;
 pub use policy::{
     EveryNCollectives, NeverTrigger, PeriodicInterval, TriggerObservation, TriggerPolicy,
     VirtualTimeSchedule,
 };
 pub use rank::CcRank;
 pub use restore::{restore_ckpt_world, RestoreConfig};
-pub use runner::{run_ckpt_world, CkptOptions, CkptRunReport};
+pub use runner::{run_ckpt_world, try_run_ckpt_world, CkptOptions, CkptRunReport};
 pub use session::Session;

@@ -591,13 +591,16 @@ impl CcRank {
             }
         }
         // Matched-but-uncompleted receives: the message returns to the
-        // mailbox so the capture drain records it as in-flight.
+        // mailbox so the capture drain records it as in-flight. This is a
+        // revert, not an injection — the sender's flow counter already
+        // covers the message, so it must not count as a re-deposit in the
+        // drain accounting.
         let world = Arc::clone(self.ctx.world());
         for v in self.vreqs.active_recv_ids() {
             if let Some(VReqState::Active(mut req, kind)) = self.vreqs.take(v) {
                 if let Some(msg) = req.unmatch() {
                     let arrival = msg.arrival;
-                    world.deposit_raw(msg, arrival);
+                    world.revert_unmatched(msg, arrival);
                 }
                 self.vreqs.put_back(v, VReqState::Active(req, kind));
             }
@@ -671,6 +674,7 @@ impl CcRank {
         // The request table iterates in hash order; sort so captures (and
         // their serialized images) are deterministic.
         pending_recvs.sort_by_key(|p| p.vreq);
+        let (p2p_sent, p2p_delivered) = self.ctx.p2p_flow();
         RuntimeCapture {
             rank: self.rank,
             state,
@@ -680,6 +684,8 @@ impl CcRank {
             pending_recvs,
             pending_barrier: *ctl.pending_barrier.lock(),
             counters: self.counters,
+            p2p_sent,
+            p2p_delivered,
             vcomm_to_lower: self.vcomms.lower_map(),
             vcomm_members: self.vcomms.members_map(),
         }

@@ -70,7 +70,7 @@ impl Default for RestoreConfig {
             ranks_per_node: None,
             params: None,
             storage: None,
-            stack_size: 1 << 20,
+            stack_size: mpisim::DEFAULT_RANK_STACK,
             workers: None,
             replay_timeout: Duration::from_secs(30),
         }
@@ -166,6 +166,7 @@ where
         drive_restore(&sup, image, &rcfg, restored_cfg);
         (Vec::new(), Vec::new())
     })
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The restore driver: waits for the replay to park at the image's cut,

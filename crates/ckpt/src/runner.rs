@@ -16,7 +16,8 @@ use crate::policy::{NeverTrigger, TriggerObservation, TriggerPolicy, VirtualTime
 use crate::rank::CcRank;
 use crate::session::Session;
 use mana_core::{CallCounters, DrainTrace, ExecEvent, Protocol, RankState};
-use mpisim::{RankReport, VTime, WorldConfig};
+use mpisim::world::LaunchGate;
+use mpisim::{RankReport, SpawnError, VTime, WorldConfig};
 use std::sync::atomic::Ordering::{Relaxed, SeqCst};
 use std::sync::Arc;
 use std::time::Duration;
@@ -133,6 +134,13 @@ pub struct CkptRunReport<R> {
     pub trace: DrainTrace,
     /// Full execution log (all collective participations).
     pub events: Vec<ExecEvent>,
+    /// Backstop-expiry wakeups across every wait path of the run
+    /// (scheduler grants, mailbox receive waits, checkpoint parks). All
+    /// of those waits are event-driven with long lost-wakeup backstops;
+    /// in a healthy run this stays at ~0, and a regression back to timed
+    /// polling — invisible in functional results — shows up here long
+    /// before it shows up as a sys-time blowup at scale.
+    pub backstop_expiries: u64,
 }
 
 impl<R> CkptRunReport<R> {
@@ -151,7 +159,28 @@ impl<R> CkptRunReport<R> {
 /// rendezvous it never enters, or a receive it will never satisfy — cannot
 /// be released (as in real MPI, where a dead rank aborts the job), so the
 /// re-raise only happens once the remaining ranks run to completion.
+///
+/// # Panics
+/// Panics if a rank thread cannot be spawned; [`try_run_ckpt_world`]
+/// surfaces that case as a typed [`SpawnError`] instead.
 pub fn run_ckpt_world<R, F>(cfg: WorldConfig, opts: CkptOptions, f: F) -> CkptRunReport<R>
+where
+    R: Send,
+    F: Fn(&mut CcRank) -> R + Send + Sync,
+{
+    try_run_ckpt_world(cfg, opts, f).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_ckpt_world`], with thread-spawn failure surfaced as a typed
+/// [`SpawnError`]. The launch is all-or-nothing: on a failure no rank has
+/// run any application code, no checkpoint supervision has started, and
+/// ranks spawned before the failing one were aborted through the launch
+/// gate.
+pub fn try_run_ckpt_world<R, F>(
+    cfg: WorldConfig,
+    opts: CkptOptions,
+    f: F,
+) -> Result<CkptRunReport<R>, SpawnError>
 where
     R: Send,
     F: Fn(&mut CcRank) -> R + Send + Sync,
@@ -198,14 +227,17 @@ fn supervise_policy(sh: &Arc<Session>, opts: CkptOptions) -> (Vec<Checkpoint>, V
 }
 
 /// The shared scaffold of [`run_ckpt_world`] and
-/// [`crate::restore_ckpt_world`]: spawn one wrapper thread per rank, run
-/// `supervise` on the calling thread, join, and assemble the report.
+/// [`crate::restore_ckpt_world`]: spawn one wrapper thread per rank behind
+/// an all-or-nothing launch gate, run `supervise` on the calling thread,
+/// join, and assemble the report. If any rank thread fails to spawn the
+/// launch is aborted — already-spawned ranks return without entering `f`,
+/// `supervise` never runs, and the typed [`SpawnError`] is returned.
 pub(crate) fn run_session_threads<R, F>(
     sh: Arc<Session>,
     stack_size: usize,
     f: F,
     supervise: impl FnOnce() -> (Vec<Checkpoint>, Vec<DrainError>),
-) -> CkptRunReport<R>
+) -> Result<CkptRunReport<R>, SpawnError>
 where
     R: Send,
     F: Fn(&mut CcRank) -> R + Send + Sync,
@@ -214,6 +246,8 @@ where
     let mut reports: Vec<Option<RankReport<R>>> = (0..n).map(|_| None).collect();
     let mut checkpoints = Vec::new();
     let mut failures = Vec::new();
+    let mut spawn_err = None;
+    let gate = Arc::new(LaunchGate::new());
     // The scheduler outlives every lower-half generation: grab it once
     // here, before any restart replaces the world.
     let sched = Arc::clone(sh.current_world().scheduler());
@@ -222,11 +256,15 @@ where
         for rank in 0..n {
             let sh = Arc::clone(&sh);
             let sched = Arc::clone(&sched);
+            let gate = Arc::clone(&gate);
             let f = &f;
-            let h = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("ccrank-{rank}"))
                 .stack_size(stack_size)
                 .spawn_scoped(s, move || {
+                    if !gate.wait() {
+                        return None; // aborted launch: never ran `f`
+                    }
                     sched.attach(rank);
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let mut cc = CcRank::new(Arc::clone(&sh), rank);
@@ -249,23 +287,40 @@ where
                         ctl.targets_met.store(true, SeqCst);
                         ctl.set_state(RankState::Finished);
                     }
-                    out
-                })
-                .expect("failed to spawn rank thread");
-            handles.push(h);
+                    Some(out)
+                });
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    spawn_err = Some(SpawnError {
+                        rank,
+                        n_ranks: n,
+                        stack_size,
+                        reason: e.to_string(),
+                    });
+                    break;
+                }
+            }
         }
+        gate.decide(spawn_err.is_none());
 
-        // Supervision (triggers or restore driving) runs on the calling
-        // thread.
-        (checkpoints, failures) = supervise();
+        if spawn_err.is_none() {
+            // Supervision (triggers or restore driving) runs on the
+            // calling thread.
+            (checkpoints, failures) = supervise();
+        }
 
         for (rank, h) in handles.into_iter().enumerate() {
             match h.join() {
-                Ok(Ok(rep)) => reports[rank] = Some(rep),
-                Ok(Err(p)) | Err(p) => std::panic::resume_unwind(p),
+                Ok(Some(Ok(rep))) => reports[rank] = Some(rep),
+                Ok(None) => {} // aborted launch
+                Ok(Some(Err(p))) | Err(p) => std::panic::resume_unwind(p),
             }
         }
     });
+    if let Some(e) = spawn_err {
+        return Err(e);
+    }
     let ranks: Vec<RankReport<R>> = reports.into_iter().map(|r| r.unwrap()).collect();
     let makespan = VTime::max_of(ranks.iter().map(|r| r.final_clock));
     let final_counters: Vec<CallCounters> = sh
@@ -280,7 +335,7 @@ where
                 .unwrap_or_default()
         })
         .collect();
-    CkptRunReport {
+    Ok(CkptRunReport {
         ranks,
         makespan,
         checkpoints,
@@ -288,7 +343,8 @@ where
         final_counters,
         trace: sh.trace.clone(),
         events: sh.exec_log.events(),
-    }
+        backstop_expiries: sh.backstop_expiries(),
+    })
 }
 
 pub(crate) fn all_finished(sh: &Session) -> bool {

@@ -107,8 +107,13 @@ impl Session {
 
     fn build(cfg: WorldConfig, protocol: Protocol, restore: Option<RestorePlan>) -> Arc<Session> {
         let world = World::new(cfg.clone());
+        // One WakeupStats block per session: the scheduler's. The control
+        // plane's park backstops record into the same counter as the
+        // scheduler and mailbox backstops, so "timed wakeups across this
+        // run" is a single number.
+        let stats = Arc::clone(world.scheduler().stats());
         Arc::new(Session {
-            control: CkptControl::new(cfg.n_ranks),
+            control: CkptControl::new_with_stats(cfg.n_ranks, stats),
             bus: UpdateBus::new(cfg.n_ranks),
             exec_log: ExecutionLog::new(),
             trace: DrainTrace::new(),
@@ -122,6 +127,14 @@ impl Session {
     /// The current lower-half world.
     pub fn current_world(&self) -> Arc<World> {
         Arc::clone(&self.world.lock())
+    }
+
+    /// Backstop-expiry wakeups recorded so far across every wait path of
+    /// this session (scheduler grants, mailbox receive waits, checkpoint
+    /// parks). The scheduler — and with it this counter — survives
+    /// restarts, so the count spans lower-half generations.
+    pub fn backstop_expiries(&self) -> u64 {
+        self.current_world().scheduler().stats().backstop_expiries()
     }
 }
 

@@ -54,6 +54,18 @@ pub struct RuntimeCapture {
     pub pending_barrier: Option<(u64, u64)>,
     /// Interposition counters at capture (diagnostics / Table 1).
     pub counters: CallCounters,
+    /// Messages this rank deposited into the **current lower-half
+    /// generation** (drain accounting — reset at restart, unlike the
+    /// cumulative `counters`). MANA's original 2PC protocol drains
+    /// in-flight p2p by comparing send/receive counts; recording them in
+    /// the capture lets the coordinator cross-check drain completeness at
+    /// every capture: sends + coordinator re-deposits must equal
+    /// deliveries + drained in-flight messages, or the capture is refused
+    /// with a typed error.
+    pub p2p_sent: u64,
+    /// Messages this rank finished receiving from the current generation
+    /// (see [`RuntimeCapture::p2p_sent`]).
+    pub p2p_delivered: u64,
     /// Current-generation mapping vcomm → lower CommId, used by the
     /// coordinator to translate drained in-flight messages into
     /// restart-stable [`mpisim::SavedMsg`] form.
@@ -84,6 +96,8 @@ mod tests {
             }],
             pending_barrier: None,
             counters: CallCounters::default(),
+            p2p_sent: 0,
+            p2p_delivered: 0,
             vcomm_to_lower: HashMap::new(),
             vcomm_members: HashMap::new(),
         };

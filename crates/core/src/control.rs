@@ -22,11 +22,26 @@
 
 use crate::ggid::Ggid;
 use crate::seq::SeqTable;
+use mpisim::WakeupStats;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Lost-wakeup backstop for [`RankCtl::park_until`]. The park is
+/// event-driven — [`RankCtl::wake`] notifies under the park mutex, so a
+/// rank between its predicate check and its wait can never miss it — and
+/// this timeout is defense in depth only. It is deliberately long: every
+/// rank of a quiescing world parks here at once, and a short re-check
+/// would turn thousands of parked ranks into timed pollers for the whole
+/// capture window (the pre-scheduler 200 µs re-check throttled 256-rank
+/// captures by an order of magnitude). Every expiry is counted in the
+/// world's [`WakeupStats`]; a healthy tier-1-scale run never pays one,
+/// and a capture window outlasting the backstop (possible at thousands
+/// of parked ranks on a few workers) costs one counted wakeup per rank
+/// per second rather than two hundred.
+const PARK_BACKSTOP: Duration = Duration::from_secs(1);
 
 /// Rank lifecycle states, published for the coordinator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,10 +147,12 @@ pub struct RankCtl {
     /// Park/wake for quiesced ranks.
     park: Mutex<()>,
     park_cv: Condvar,
+    /// Shared backstop-expiry accounting (the world's [`WakeupStats`]).
+    stats: Arc<WakeupStats>,
 }
 
 impl RankCtl {
-    fn new() -> Self {
+    fn new(stats: Arc<WakeupStats>) -> Self {
         RankCtl {
             seq_mirror: Mutex::new(SeqTable::new()),
             initial_targets: Mutex::new(HashMap::new()),
@@ -155,6 +172,7 @@ impl RankCtl {
             replayed_comms: Mutex::new(HashMap::new()),
             park: Mutex::new(()),
             park_cv: Condvar::new(),
+            stats,
         }
     }
 
@@ -169,17 +187,21 @@ impl RankCtl {
     }
 
     /// Parks the rank thread until `pred` becomes true, re-checking on
-    /// every [`RankCtl::wake`] (with a long backstop timeout for defense
-    /// in depth). Every rank of a quiescing world parks here at once —
-    /// outside the scheduler's worker pool — so this wait must be
-    /// event-driven: a short timed poll multiplied by hundreds of parked
-    /// ranks would saturate the host exactly when the coordinator needs
-    /// it (the pre-scheduler 200 µs re-check throttled 256-rank captures
-    /// by an order of magnitude).
+    /// every [`RankCtl::wake`] (with the [`PARK_BACKSTOP`] lost-wakeup
+    /// timeout for defense in depth). Every rank of a quiescing world
+    /// parks here at once — outside the scheduler's worker pool — so this
+    /// wait must be event-driven: a short timed poll multiplied by
+    /// thousands of parked ranks would saturate the host exactly when the
+    /// coordinator needs it. A wait that expires the backstop without the
+    /// predicate having turned true is recorded as a backstop-expiry
+    /// wakeup.
     pub fn park_until(&self, mut pred: impl FnMut() -> bool) {
         let mut guard = self.park.lock();
         while !pred() {
-            self.park_cv.wait_for(&mut guard, Duration::from_millis(5));
+            let timed_out = self.park_cv.wait_for(&mut guard, PARK_BACKSTOP).timed_out();
+            if timed_out && !pred() {
+                self.stats.record_backstop_expiry();
+            }
         }
     }
 
@@ -250,8 +272,18 @@ pub struct CkptControl {
 }
 
 impl CkptControl {
-    /// Builds the control plane for `n_ranks`.
+    /// Builds the control plane for `n_ranks` with a private
+    /// [`WakeupStats`] block (unit tests; sessions share the world's —
+    /// see [`CkptControl::new_with_stats`]).
     pub fn new(n_ranks: usize) -> Arc<Self> {
+        Self::new_with_stats(n_ranks, Arc::new(WakeupStats::default()))
+    }
+
+    /// Builds the control plane for `n_ranks`, recording backstop-expiry
+    /// wakeups of the per-rank parks into `stats` — normally the
+    /// scheduler's per-world block, so every wait path of one world is
+    /// counted in one place.
+    pub fn new_with_stats(n_ranks: usize, stats: Arc<WakeupStats>) -> Arc<Self> {
         Arc::new(CkptControl {
             n_ranks,
             pending: AtomicBool::new(false),
@@ -261,7 +293,9 @@ impl CkptControl {
             shutdown: AtomicBool::new(false),
             replayed_count: AtomicU64::new(0),
             resume_gen: AtomicU64::new(0),
-            ranks: (0..n_ranks).map(|_| RankCtl::new()).collect(),
+            ranks: (0..n_ranks)
+                .map(|_| RankCtl::new(Arc::clone(&stats)))
+                .collect(),
         })
     }
 

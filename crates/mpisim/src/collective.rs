@@ -8,6 +8,31 @@
 //! *completes* it: it computes every participant's exit time with the
 //! [`netmodel`] cost model and combines the data contributions.
 //!
+//! ## Scaling shape (the 4096-rank rendezvous)
+//!
+//! At paper scale the rendezvous itself is the serial section, so the
+//! instance is built to keep the per-participant critical path O(1):
+//!
+//! * **Arrival** takes no shared lock: each participant writes its entry
+//!   time and contribution into its *own* slot (a per-slot mutex nobody
+//!   else touches until completion) and announces itself on an atomic
+//!   arrival counter.
+//! * **Completion** (the last arriver) extracts the entries, computes
+//!   every exit time and combines the data **outside any shared lock** —
+//!   with 4095 ranks parked, holding a lock across an O(p) cost-model
+//!   evaluation would serialize the whole world behind it — then writes
+//!   each rank's result back into that rank's slot.
+//! * **Wakeups are batched to the scheduler's run-slot count** rather
+//!   than a thundering herd: only `wake_batch ≈ workers` waiters can
+//!   execute at once anyway, so completion wakes that many and each
+//!   collector passes a baton wakeup to the next still-parked waiter on
+//!   its way out. Completion also pokes every participant's mailbox
+//!   activity token, so slotless pollers (`Test` loops, `park_briefly`)
+//!   learn about it without a timed re-check.
+//! * **Instance lookup is sharded**: the registry spreads `(comm, seq)`
+//!   keys over independently-locked shards instead of funneling every
+//!   arrival in the world through one registry mutex.
+//!
 //! Blocking callers park on the instance condvar until completion.
 //! Non-blocking callers hold the instance inside an `MPI_Request` and poll
 //! it with `test`/`wait` — once all participants have *initiated*, the
@@ -17,6 +42,7 @@
 
 use crate::dtype::DType;
 use crate::group::Group;
+use crate::mailbox::Mailbox;
 use crate::reduce_op::ReduceOp;
 use crate::types::CommId;
 use bytes::Bytes;
@@ -24,6 +50,7 @@ use netmodel::collectives::CollCtx;
 use netmodel::{CollOp, NetParams, Topology, VTime};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Reduction specification for reducing collectives.
@@ -33,6 +60,34 @@ pub struct RedSpec {
     pub dtype: DType,
     /// Operator.
     pub op: ReduceOp,
+}
+
+/// What a [`CollInstance`] needs from the world it runs in. Bundled so the
+/// registry can build instances lazily (the environment is only gathered
+/// when the first participant actually creates the instance).
+pub struct InstanceEnv {
+    /// Network cost parameters.
+    pub params: Arc<NetParams>,
+    /// Topology for the cost model.
+    pub topo: Topology,
+    /// Participant mailboxes in group order, poked at completion so
+    /// activity-token waits observe collective completions.
+    pub mailboxes: Vec<Arc<Mailbox>>,
+    /// Scheduler run-slot count: the completion wakeup batch size.
+    pub wake_batch: usize,
+}
+
+/// One participant's slot: written by its own rank at entry, harvested and
+/// rewritten by the completing rank, collected once by its own rank.
+enum Slot {
+    /// Not yet entered.
+    Empty,
+    /// Entered; completion has not run.
+    Entered { entry: VTime, contrib: Bytes },
+    /// Mid-completion marker (entry harvested, result not yet written).
+    Completing,
+    /// Complete: this rank's exit time and collectable output.
+    Done { exit: VTime, data: Option<Bytes> },
 }
 
 /// One collective call in flight.
@@ -46,22 +101,24 @@ pub struct CollInstance {
     instance_id: u64,
     params: Arc<NetParams>,
     topo: Topology,
-    state: Mutex<InstState>,
+    /// Per-participant slots (see [`Slot`]); each mutex is effectively
+    /// uncontended — its own rank and the completer are the only lockers.
+    slots: Vec<Mutex<Slot>>,
+    /// Arrival counter; the participant that brings it to `size()`
+    /// completes the instance.
+    arrived: AtomicUsize,
+    /// Set (release) once every slot holds its `Done` result.
+    completed: AtomicBool,
+    /// Results collected so far; the collector that brings it to `size()`
+    /// is `last` and retires the instance.
+    taken: AtomicUsize,
+    /// Count of blocking waiters currently parked on `cv`.
+    waiters: Mutex<usize>,
     cv: Condvar,
-}
-
-#[derive(Default)]
-struct InstState {
-    entries: Vec<Option<VTime>>,
-    contribs: Vec<Option<Bytes>>,
-    arrived: usize,
-    taken: usize,
-    done: Option<DoneState>,
-}
-
-struct DoneState {
-    exits: Vec<VTime>,
-    outputs: Vec<Option<Bytes>>,
+    /// Completion wakeup batch size (≈ scheduler run slots).
+    wake_batch: usize,
+    /// Participant mailboxes, poked at completion.
+    mailboxes: Vec<Arc<Mailbox>>,
 }
 
 /// Result of one rank's participation.
@@ -77,7 +134,6 @@ pub struct CollResult {
 }
 
 impl CollInstance {
-    #[allow(clippy::too_many_arguments)]
     fn new(
         key: (CommId, u64),
         op: CollOp,
@@ -85,10 +141,14 @@ impl CollInstance {
         red: Option<RedSpec>,
         group: &Group,
         instance_id: u64,
-        params: Arc<NetParams>,
-        topo: Topology,
+        env: InstanceEnv,
     ) -> Self {
         let p = group.size();
+        assert_eq!(
+            env.mailboxes.len(),
+            p,
+            "instance environment must carry one mailbox per participant"
+        );
         CollInstance {
             key,
             op,
@@ -96,14 +156,16 @@ impl CollInstance {
             red,
             world_ranks: group.members().to_vec(),
             instance_id,
-            params,
-            topo,
-            state: Mutex::new(InstState {
-                entries: vec![None; p],
-                contribs: vec![None; p],
-                ..Default::default()
-            }),
+            params: env.params,
+            topo: env.topo,
+            slots: (0..p).map(|_| Mutex::new(Slot::Empty)).collect(),
+            arrived: AtomicUsize::new(0),
+            completed: AtomicBool::new(false),
+            taken: AtomicUsize::new(0),
+            waiters: Mutex::new(0),
             cv: Condvar::new(),
+            wake_batch: env.wake_batch.max(1),
+            mailboxes: env.mailboxes,
         }
     }
 
@@ -119,6 +181,8 @@ impl CollInstance {
 
     /// Registers participant `group_rank` entering at `entry` with
     /// `contrib`. Completes the instance if this is the last participant.
+    /// The non-completing path takes no shared lock: one (private) slot
+    /// write plus one atomic increment.
     ///
     /// # Panics
     /// Panics on double entry or on op/root/reduction mismatch across
@@ -147,72 +211,109 @@ impl CollInstance {
             "reduction spec mismatch on {:?} ({:?})",
             self.key, self.op
         );
-        let mut st = self.state.lock();
-        assert!(
-            st.entries[group_rank].is_none(),
-            "rank {group_rank} entered collective {:?} twice",
-            self.key
-        );
-        st.entries[group_rank] = Some(entry);
-        st.contribs[group_rank] = Some(contrib);
-        st.arrived += 1;
-        if st.arrived == self.size() {
-            self.complete(&mut st);
-            self.cv.notify_all();
+        {
+            let mut slot = self.slots[group_rank].lock();
+            assert!(
+                matches!(*slot, Slot::Empty),
+                "rank {group_rank} entered collective {:?} twice",
+                self.key
+            );
+            *slot = Slot::Entered { entry, contrib };
+        }
+        // The slot write happens-before the increment; the completing
+        // participant's (acquire) read of `size()` therefore sees every
+        // slot populated.
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.size() {
+            self.complete();
         }
     }
 
     /// Whether all participants have entered (the operation then has a
-    /// defined completion time for each rank).
+    /// defined completion time for each rank). One atomic load.
     pub fn is_complete(&self) -> bool {
-        self.state.lock().done.is_some()
+        self.completed.load(Ordering::Acquire)
     }
 
     /// This rank's exit (completion) time, if the instance is complete.
     pub fn exit_of(&self, group_rank: usize) -> Option<VTime> {
-        self.state.lock().done.as_ref().map(|d| d.exits[group_rank])
+        match *self.slots[group_rank].lock() {
+            Slot::Done { exit, .. } => Some(exit),
+            _ => None,
+        }
+    }
+
+    /// Arrival progress: how many participants have entered so far.
+    pub fn arrived(&self) -> usize {
+        self.arrived.load(Ordering::Acquire)
     }
 
     /// Blocks (wall-clock) until completion, then collects this rank's
-    /// result. Used by blocking collectives and `MPI_Wait`.
+    /// result. Used by blocking collectives and `MPI_Wait`. Wakeups are
+    /// batched: completion wakes at most `wake_batch` waiters and every
+    /// waiter passes a baton wakeup to the next one still parked, so the
+    /// herd drains at the pace the scheduler can actually run it.
     pub fn wait_and_take(&self, group_rank: usize) -> CollResult {
-        let mut st = self.state.lock();
-        while st.done.is_none() {
-            self.cv.wait(&mut st);
+        if !self.is_complete() {
+            let mut w = self.waiters.lock();
+            while !self.is_complete() {
+                *w += 1;
+                self.cv.wait(&mut w);
+                *w -= 1;
+            }
+            // Baton: if other waiters are still parked, wake exactly one.
+            // Every parked waiter is woken either directly by completion
+            // or by a predecessor's baton, so none is stranded.
+            if *w > 0 {
+                self.cv.notify_one();
+            }
         }
-        Self::take_locked(&mut st, group_rank, self.size())
+        self.take_from_slot(group_rank)
     }
 
     /// Non-blocking collection: returns the result if complete.
     pub fn try_take(&self, group_rank: usize) -> Option<CollResult> {
-        let mut st = self.state.lock();
-        st.done.as_ref()?;
-        Some(Self::take_locked(&mut st, group_rank, self.size()))
+        if !self.is_complete() {
+            return None;
+        }
+        Some(self.take_from_slot(group_rank))
     }
 
-    fn take_locked(st: &mut InstState, group_rank: usize, p: usize) -> CollResult {
-        let done = st.done.as_mut().expect("checked complete");
-        let data = done.outputs[group_rank]
-            .take()
-            .expect("rank collected twice");
-        let exit = done.exits[group_rank];
-        st.taken += 1;
+    /// Collects this rank's result from its slot. Caller must have
+    /// observed [`CollInstance::is_complete`].
+    fn take_from_slot(&self, group_rank: usize) -> CollResult {
+        let (exit, data) = {
+            let mut slot = self.slots[group_rank].lock();
+            match &mut *slot {
+                Slot::Done { exit, data } => (*exit, data.take().expect("rank collected twice")),
+                _ => unreachable!("slot not complete after is_complete()"),
+            }
+        };
+        let t = self.taken.fetch_add(1, Ordering::AcqRel) + 1;
         CollResult {
             exit,
             data,
-            last: st.taken == p,
+            last: t == self.size(),
         }
     }
 
-    /// Computes exits and combined outputs. Called with the state lock held
-    /// by the last-arriving participant.
-    fn complete(&self, st: &mut InstState) {
-        let entries: Vec<VTime> = st.entries.iter().map(|e| e.expect("all arrived")).collect();
-        let contribs: Vec<Bytes> = st
-            .contribs
-            .iter_mut()
-            .map(|c| c.take().expect("all arrived"))
-            .collect();
+    /// Computes exits and combined outputs. Run by the last-arriving
+    /// participant with **no shared lock held**: it is the only thread
+    /// that harvests `Entered` slots and the only writer of `Done` slots
+    /// until `completed` is published, so the O(p) cost-model evaluation
+    /// and data combine never block arrivals, polls, or the registry.
+    fn complete(&self) {
+        let p = self.size();
+        let mut entries = Vec::with_capacity(p);
+        let mut contribs = Vec::with_capacity(p);
+        for slot in &self.slots {
+            match std::mem::replace(&mut *slot.lock(), Slot::Completing) {
+                Slot::Entered { entry, contrib } => {
+                    entries.push(entry);
+                    contribs.push(contrib);
+                }
+                _ => unreachable!("all participants arrived before completion"),
+            }
+        }
         let bytes = self.cost_bytes(&contribs);
         let ctx = CollCtx {
             params: &self.params,
@@ -221,11 +322,26 @@ impl CollInstance {
             instance: self.instance_id,
         };
         let exits = netmodel::exit_times(self.op, self.root, bytes, &entries, &ctx);
-        let outputs = combine(self.op, self.root, self.red, &contribs)
-            .into_iter()
-            .map(Some)
-            .collect();
-        st.done = Some(DoneState { exits, outputs });
+        let outputs = combine(self.op, self.root, self.red, &contribs);
+        for ((slot, exit), output) in self.slots.iter().zip(exits).zip(outputs) {
+            *slot.lock() = Slot::Done {
+                exit,
+                data: Some(output),
+            };
+        }
+        self.completed.store(true, Ordering::Release);
+        // Wake a scheduler-slot-sized batch of parked waiters (they chain
+        // batons to the rest), and poke every participant's mailbox so
+        // slotless activity waits observe the completion.
+        {
+            let w = self.waiters.lock();
+            for _ in 0..self.wake_batch.min(*w) {
+                self.cv.notify_one();
+            }
+        }
+        for mb in &self.mailboxes {
+            mb.notify_activity();
+        }
     }
 
     /// The per-rank message size the cost model should see for this op.
@@ -341,10 +457,31 @@ fn combine(op: CollOp, root: usize, red: Option<RedSpec>, contribs: &[Bytes]) ->
     }
 }
 
-/// Registry of in-flight collective instances, keyed by `(comm, seq)`.
-#[derive(Default)]
+/// Number of independently-locked shards in a [`CollRegistry`]. With one
+/// global map mutex, every collective arrival in the world (plus every
+/// retire) funnels through a single lock — at 4096 ranks that lookup is a
+/// serial section in front of the rendezvous itself. Shards spread
+/// `(comm, seq)` keys so concurrent collectives on different keys never
+/// contend.
+const REGISTRY_SHARDS: usize = 16;
+
+/// One independently-locked slice of the registry map.
+type RegistryShard = Mutex<HashMap<(CommId, u64), Arc<CollInstance>>>;
+
+/// Registry of in-flight collective instances, keyed by `(comm, seq)` and
+/// sharded by key hash.
 pub struct CollRegistry {
-    map: Mutex<HashMap<(CommId, u64), Arc<CollInstance>>>,
+    shards: Vec<RegistryShard>,
+}
+
+impl Default for CollRegistry {
+    fn default() -> Self {
+        CollRegistry {
+            shards: (0..REGISTRY_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
 }
 
 impl CollRegistry {
@@ -353,7 +490,13 @@ impl CollRegistry {
         Self::default()
     }
 
-    /// Finds or creates the instance for `(comm, seq)`.
+    fn shard(&self, key: &(CommId, u64)) -> &RegistryShard {
+        let h = (key.0 .0 ^ key.1.rotate_left(17)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 32) as usize % REGISTRY_SHARDS]
+    }
+
+    /// Finds or creates the instance for `(comm, seq)`. `env` is only
+    /// invoked when this call actually creates the instance.
     #[allow(clippy::too_many_arguments)]
     pub fn get_or_create(
         &self,
@@ -363,10 +506,9 @@ impl CollRegistry {
         red: Option<RedSpec>,
         group: &Group,
         instance_id_alloc: impl FnOnce() -> u64,
-        params: &Arc<NetParams>,
-        topo: &Topology,
+        env: impl FnOnce() -> InstanceEnv,
     ) -> Arc<CollInstance> {
-        let mut map = self.map.lock();
+        let mut map = self.shard(&key).lock();
         Arc::clone(map.entry(key).or_insert_with(|| {
             Arc::new(CollInstance::new(
                 key,
@@ -375,31 +517,29 @@ impl CollRegistry {
                 red,
                 group,
                 instance_id_alloc(),
-                Arc::clone(params),
-                topo.clone(),
+                env(),
             ))
         }))
     }
 
     /// Removes a fully collected instance.
     pub fn retire(&self, key: (CommId, u64)) {
-        self.map.lock().remove(&key);
+        self.shard(&key).lock().remove(&key);
     }
 
     /// Number of live (not yet retired) instances — used by checkpoint
     /// invariant checks: at a safe state this must be zero.
     pub fn live_count(&self) -> usize {
-        self.map.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Arrival progress of an instance: `(entered, size)`, or `None` if no
     /// such instance exists. Used by the 2PC coordinator to decide whether
     /// a trivial barrier can still complete.
     pub fn progress(&self, key: (CommId, u64)) -> Option<(usize, usize)> {
-        let map = self.map.lock();
+        let map = self.shard(&key).lock();
         let inst = map.get(&key)?;
-        let arrived = inst.state.lock().arrived;
-        Some((arrived, inst.size()))
+        Some((inst.arrived(), inst.size()))
     }
 }
 
@@ -408,17 +548,17 @@ mod tests {
     use super::*;
     use crate::dtype::{decode_f64, encode_f64};
 
+    fn env(p: usize) -> InstanceEnv {
+        InstanceEnv {
+            params: Arc::new(NetParams::ideal()),
+            topo: Topology::single_node(p),
+            mailboxes: (0..p).map(|_| Arc::new(Mailbox::new())).collect(),
+            wake_batch: 2,
+        }
+    }
+
     fn inst(op: CollOp, p: usize, root: usize, red: Option<RedSpec>) -> CollInstance {
-        CollInstance::new(
-            (CommId(0), 0),
-            op,
-            root,
-            red,
-            &Group::world(p),
-            1,
-            Arc::new(NetParams::ideal()),
-            Topology::single_node(p),
-        )
+        CollInstance::new((CommId(0), 0), op, root, red, &Group::world(p), 1, env(p))
     }
 
     fn run_all(i: &CollInstance, payloads: Vec<Bytes>) -> Vec<Bytes> {
@@ -576,15 +716,92 @@ mod tests {
     #[test]
     fn registry_lifecycle() {
         let reg = CollRegistry::new();
-        let params = Arc::new(NetParams::ideal());
-        let topo = Topology::single_node(2);
         let g = Group::world(2);
         let key = (CommId(0), 7);
-        let a = reg.get_or_create(key, CollOp::Barrier, 0, None, &g, || 1, &params, &topo);
-        let b = reg.get_or_create(key, CollOp::Barrier, 0, None, &g, || 2, &params, &topo);
+        let a = reg.get_or_create(key, CollOp::Barrier, 0, None, &g, || 1, || env(2));
+        let b = reg.get_or_create(key, CollOp::Barrier, 0, None, &g, || 2, || env(2));
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(reg.live_count(), 1);
         reg.retire(key);
         assert_eq!(reg.live_count(), 0);
+    }
+
+    #[test]
+    fn registry_shards_agree_across_keys() {
+        // Keys landing in different shards must still behave like one map.
+        let reg = CollRegistry::new();
+        let g = Group::world(2);
+        let keys: Vec<(CommId, u64)> = (0..64).map(|i| (CommId(i % 5), i)).collect();
+        for &key in &keys {
+            let _ = reg.get_or_create(key, CollOp::Barrier, 0, None, &g, || key.1, || env(2));
+        }
+        assert_eq!(reg.live_count(), keys.len());
+        for &key in &keys {
+            assert_eq!(reg.progress(key), Some((0, 2)));
+            reg.retire(key);
+        }
+        assert_eq!(reg.live_count(), 0);
+        assert_eq!(reg.progress(keys[0]), None);
+    }
+
+    #[test]
+    fn completion_pokes_participant_mailboxes() {
+        // Activity-token waits must observe a collective completion the
+        // same way they observe a deposit: the completing enter() bumps
+        // every participant's mailbox generation.
+        let e = env(2);
+        let mb0 = Arc::clone(&e.mailboxes[0]);
+        let i = CollInstance::new(
+            (CommId(0), 0),
+            CollOp::Barrier,
+            0,
+            None,
+            &Group::world(2),
+            1,
+            e,
+        );
+        let token = mb0.activity_token();
+        i.enter(0, VTime::ZERO, Bytes::new(), CollOp::Barrier, 0, None);
+        assert_eq!(mb0.activity_token(), token, "no poke before completion");
+        i.enter(1, VTime::ZERO, Bytes::new(), CollOp::Barrier, 0, None);
+        assert_ne!(
+            mb0.activity_token(),
+            token,
+            "completion must poke mailboxes"
+        );
+    }
+
+    #[test]
+    fn concurrent_waiters_all_drain() {
+        // Batched wakeups + batons: every parked waiter of a wide
+        // instance collects its result even though completion only wakes
+        // `wake_batch` of them directly.
+        let p = 32;
+        let mut e = env(p);
+        e.wake_batch = 2;
+        let i = Arc::new(CollInstance::new(
+            (CommId(0), 0),
+            CollOp::Barrier,
+            0,
+            None,
+            &Group::world(p),
+            1,
+            e,
+        ));
+        let mut handles = Vec::new();
+        for r in 1..p {
+            let i = Arc::clone(&i);
+            handles.push(std::thread::spawn(move || {
+                i.enter(r, VTime::ZERO, Bytes::new(), CollOp::Barrier, 0, None);
+                i.wait_and_take(r).exit
+            }));
+        }
+        // Give waiters a moment to park, then complete the instance.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        i.enter(0, VTime::ZERO, Bytes::new(), CollOp::Barrier, 0, None);
+        let exit0 = i.wait_and_take(0).exit;
+        for h in handles {
+            assert_eq!(h.join().unwrap(), exit0);
+        }
     }
 }

@@ -22,16 +22,26 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// How long a blocked rank parks between re-checks of external conditions
-/// in slot-bounded polling loops (at most `workers` ranks sit here).
-/// Wall-clock only; virtual time is unaffected.
-const PARK: Duration = Duration::from_micros(200);
+/// Poll-loop nap bound: how long [`Ctx::park_briefly`] sleeps when no
+/// mailbox activity arrives. Poll loops can be *self-driving* — a `Test`
+/// loop waiting out a virtual completion time advances its own clock with
+/// every poll, so no external event will ever arrive — which is why this
+/// stays short (it bounds each such iteration) while still being
+/// activity-cut: deposits and collective completions end the nap at once,
+/// so event-driven waiters never pay it. Wall-clock only; virtual time is
+/// unaffected. Expiries here are *not* counted as backstop failures — for
+/// a self-driving poller the expiry is the productive path.
+const POLL_NAP: Duration = Duration::from_millis(5);
 
-/// Backstop for the slotless blocked-receive wait. Unlike [`PARK`] loops,
-/// *every* rank of a large world can sit in a blocked receive at once, so
-/// the wait must be event-driven (mailbox deposits notify it); the
-/// timeout only guards against a pathological lost wakeup.
-const RECV_PARK: Duration = Duration::from_millis(5);
+/// Backstop for the slotless blocked-receive wait. *Every* rank of a
+/// large world can sit in a blocked receive at once, so the wait is
+/// event-driven — the activity token taken before the queue scan makes
+/// deposits race-proof — and the timeout only guards against a
+/// pathological lost wakeup. It is deliberately long (a short re-check
+/// would turn thousands of parked receivers into timed pollers) and every
+/// expiry is counted in [`crate::sched::WakeupStats`]: a healthy run
+/// never pays it.
+const RECV_PARK: Duration = Duration::from_secs(1);
 
 /// Consecutive slot rotations a polling loop performs before it naps.
 /// When every run slot is held by a poller waiting on something none of
@@ -50,6 +60,12 @@ pub struct Ctx {
     comm_seqs: HashMap<CommId, u64>,
     /// Per-destination send sequence (non-overtaking bookkeeping).
     send_seqs: HashMap<usize, u64>,
+    /// Messages this rank deposited into the current lower-half generation
+    /// (drain-accounting; reset at [`Ctx::attach_world`]).
+    p2p_sent: u64,
+    /// Messages this rank completed receiving from the current generation
+    /// (drain-accounting; reset at [`Ctx::attach_world`]).
+    p2p_delivered: u64,
     /// Consecutive [`Ctx::park_briefly`] slot rotations without an
     /// intervening nap (spin bound — see [`YIELD_STREAK_NAP`]).
     yield_streak: std::cell::Cell<u32>,
@@ -65,6 +81,8 @@ impl Ctx {
             clock: VTime::ZERO,
             comm_seqs: HashMap::new(),
             send_seqs: HashMap::new(),
+            p2p_sent: 0,
+            p2p_delivered: 0,
             yield_streak: std::cell::Cell::new(0),
         }
     }
@@ -130,15 +148,30 @@ impl Ctx {
         self.world = world;
         self.comm_seqs.clear();
         self.send_seqs.clear();
+        self.p2p_sent = 0;
+        self.p2p_delivered = 0;
+    }
+
+    /// **Checkpoint hook.** This rank's p2p flow against the current
+    /// lower-half generation: `(messages deposited, messages delivered)`.
+    /// Together with [`World::p2p_accounting`] these close the drain-
+    /// completeness identity the coordinator checks at every capture.
+    #[inline]
+    pub fn p2p_flow(&self) -> (u64, u64) {
+        (self.p2p_sent, self.p2p_delivered)
     }
 
     /// The cooperative yield-point of polling loops. Under scheduler
     /// contention this rotates the rank's run slot to the next queued rank
-    /// (round-robin); otherwise it parks briefly or until mailbox
-    /// activity, so idle polls do not burn host CPU. A long unbroken
+    /// (round-robin); otherwise it waits — slotless and event-driven — on
+    /// this rank's mailbox activity token, so idle polls do not burn host
+    /// CPU. Deposits *and* collective completions count as activity
+    /// (completion pokes every participant's mailbox), so waits on either
+    /// return at once; the [`POLL_NAP`] bound only paces self-driving
+    /// pollers whose progress is their own clock advance. A long unbroken
     /// streak of rotations means every slot holder is a poller waiting on
-    /// something none of them produces — the streak is capped with a
-    /// slotless nap so the pool cannot spin at full CPU against an
+    /// something none of them produces — the streak is capped with the
+    /// same slotless wait so the pool cannot spin at full CPU against an
     /// external event source. Wall-clock only; virtual time is
     /// unaffected.
     pub fn park_briefly(&self) {
@@ -154,7 +187,7 @@ impl Ctx {
         let token = mb.activity_token();
         self.world
             .sched
-            .blocking(self.world_rank, || mb.wait_activity_since(token, PARK));
+            .blocking(self.world_rank, || mb.wait_activity_since(token, POLL_NAP));
     }
 
     /// Runs `f` — a wait that may block on a condition variable — with
@@ -324,6 +357,7 @@ impl Ctx {
             arrival,
             seq,
         });
+        self.p2p_sent += 1;
         self.clock = send_done;
         Request::send(send_done)
     }
@@ -444,7 +478,9 @@ impl Ctx {
                             if let Some(m) = world.mailbox(rank).take_match(&spec) {
                                 break m;
                             }
-                            world.mailbox(rank).wait_activity_since(token, RECV_PARK);
+                            if !world.mailbox(rank).wait_activity_since(token, RECV_PARK) {
+                                world.sched.stats().record_backstop_expiry();
+                            }
                         })
                     }
                 };
@@ -613,6 +649,7 @@ impl Ctx {
     }
 
     fn finish_recv(&mut self, comm: &Comm, msg: InFlightMsg) -> Completion {
+        self.p2p_delivered += 1;
         self.clock.advance_to(msg.arrival);
         let source = comm
             .group()
@@ -659,8 +696,7 @@ impl Ctx {
             red,
             comm.group(),
             || self.world.alloc_instance(),
-            self.world.params(),
-            self.world.topology(),
+            || self.world.instance_env(comm.group()),
         );
         inst.enter(comm.rank(), self.clock, payload, op, root, red);
         let group_rank = comm.rank();
@@ -819,8 +855,7 @@ impl Ctx {
             red,
             comm.group(),
             || self.world.alloc_instance(),
-            self.world.params(),
-            self.world.topology(),
+            || self.world.instance_env(comm.group()),
         );
         // Initiation cost: posting the operation.
         self.clock += self.world.params().send_overhead;

@@ -8,7 +8,9 @@
 //! ([`sched`]): only `~num_cpus` ranks run at any instant, every blocking
 //! wait releases its run slot, and polling loops rotate slots round-robin
 //! at their yield-points — which is what lets a single host carry the
-//! paper's 512-rank worlds. Ranks communicate through in-memory mailboxes
+//! paper's 512-rank worlds (and, with 128 KiB rank stacks and the
+//! lock-free collective rendezvous, 4096-rank ones). Ranks communicate
+//! through in-memory mailboxes
 //! and collective rendezvous instances, while a per-rank **virtual clock**
 //! (see [`netmodel`]) accounts for the time a real cluster would spend.
 //! The scheduler never touches virtual time, so timing results are
@@ -65,8 +67,11 @@ pub use group::Group;
 pub use msg::{SavedMsg, Status};
 pub use reduce_op::ReduceOp;
 pub use request::{Completion, Request};
-pub use sched::Scheduler;
+pub use sched::{Scheduler, WakeupStats};
 pub use types::{SrcSel, Tag, TagSel};
-pub use world::{run_world, RankReport, World, WorldConfig, WorldReport};
+pub use world::{
+    run_world, try_run_world, RankReport, SpawnError, World, WorldConfig, WorldReport,
+    DEFAULT_RANK_STACK,
+};
 
 pub use netmodel::{CollOp, NetParams, Topology, VTime};

@@ -65,6 +65,16 @@ impl Mailbox {
             let mut q = self.inner.lock();
             q.push(msg);
         }
+        self.notify_activity();
+    }
+
+    /// Records mailbox-visible activity without depositing a message and
+    /// wakes every waiter. Used by the collective engine at instance
+    /// completion: pollers blocked in activity waits (`park_briefly`, the
+    /// checkpoint layer's `Test` loops) learn about collective completions
+    /// the same way they learn about deposits, so those waits stay
+    /// event-driven instead of timing out.
+    pub fn notify_activity(&self) {
         *self.generation.lock() += 1;
         self.cv.notify_all();
     }
@@ -97,19 +107,23 @@ impl Mailbox {
         *self.generation.lock()
     }
 
-    /// Blocks the calling thread until a deposit lands after `token` was
-    /// taken, or `timeout` elapses. Event-driven: a deposit that raced
-    /// the caller's queue scan is detected through the token and never
-    /// costs the timeout.
-    pub fn wait_activity_since(&self, token: u64, timeout: Duration) {
+    /// Blocks the calling thread until activity lands after `token` was
+    /// taken, or `timeout` elapses. Event-driven: activity that raced the
+    /// caller's queue scan is detected through the token and never costs
+    /// the timeout. Returns `true` if activity was observed (before or
+    /// during the wait), `false` if the wait expired with the generation
+    /// unchanged — callers treating `timeout` as a lost-wakeup backstop
+    /// use the `false` case to record a backstop-expiry wakeup.
+    pub fn wait_activity_since(&self, token: u64, timeout: Duration) -> bool {
         let mut gen = self.generation.lock();
         if *gen != token {
-            return;
+            return true;
         }
         self.cv.wait_for(&mut gen, timeout);
+        *gen != token
     }
 
-    /// Blocks until the mailbox changes or `timeout` elapses. A deposit
+    /// Blocks until the mailbox changes or `timeout` elapses. Activity
     /// arriving between the caller's last queue scan and this call is
     /// *not* detected (take a token first for that — see
     /// [`Mailbox::activity_token`]); use only for idle naps where an

@@ -10,6 +10,15 @@
 //! a checkpoint-control wake) having released their run slot, or queued
 //! FIFO for a slot.
 //!
+//! With execution bounded, the per-rank *footprint* is the thread stack —
+//! the only resource a parked continuation still holds. Rank stacks
+//! default to [`crate::world::DEFAULT_RANK_STACK`] (128 KiB, sized to
+//! measured rank-body depth with 2× headroom) rather than the platform's
+//! 1 MiB-plus, which is what lets 4096 parked continuations fit on a
+//! small host; and every wait path shares the per-world [`WakeupStats`]
+//! block, so the *absence* of timed wakeups — the scheduler's other
+//! scaling contract — is an asserted property rather than a hope.
+//!
 //! The contract with the rest of the system is small:
 //!
 //! * [`Scheduler::attach`] / [`Scheduler::detach`] bracket a rank body:
@@ -41,13 +50,54 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Backstop re-check interval for slot waits. Grants are targeted (a
-/// waiter can never steal another rank's grant), so this only defends
-/// against a lost wakeup; it is not a scheduling quantum.
-const GRANT_RECHECK: Duration = Duration::from_millis(5);
+/// waiter can never steal another rank's grant) and notified under the
+/// state mutex, so this only defends against a pathological lost wakeup;
+/// it is not a scheduling quantum. It is deliberately long: at 4096 ranks
+/// a whole world's worth of waiters can be queued behind two run slots
+/// for hundreds of milliseconds, and a short re-check would turn every
+/// queued rank into a timed poller — the class of hidden cost this
+/// scheduler exists to remove. Expiries are counted in [`WakeupStats`]:
+/// at tier-1 scales a healthy world never pays one; at extreme
+/// multiplexing ratios (4096 ranks on 2 workers) a FIFO queue wait can
+/// legitimately outlast even this window, so the counter reads as the
+/// residual timed-wakeup load rather than strictly zero.
+const GRANT_RECHECK: Duration = Duration::from_secs(1);
+
+/// Counters for the wall-clock wait paths shared by one world's ranks.
+///
+/// Every unbounded park in the system (slot grants here, mailbox receive
+/// waits, the checkpoint layer's control parks) is event-driven with a
+/// long *backstop* timeout for defense in depth. A regression back to
+/// timed polling is invisible in any functional test — results stay
+/// correct, only host sys-time blows up (the pre-scheduler 200 µs
+/// re-checks throttled 256-rank captures ~30×). So the backstops are made
+/// observable: every wait that expires its backstop without the awaited
+/// event having fired bumps [`WakeupStats::backstop_expiries`], and a
+/// tier-1 test asserts the count stays at ~0 across a checkpointed run.
+#[derive(Debug, Default)]
+pub struct WakeupStats {
+    /// Wakeups caused by a backstop timeout rather than the awaited event.
+    backstop_expiries: AtomicU64,
+}
+
+impl WakeupStats {
+    /// Records one backstop-expiry wakeup.
+    #[inline]
+    pub fn record_backstop_expiry(&self) {
+        self.backstop_expiries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total backstop-expiry wakeups since construction.
+    #[inline]
+    pub fn backstop_expiries(&self) -> u64 {
+        self.backstop_expiries.load(Ordering::Relaxed)
+    }
+}
 
 /// Where one rank currently stands with the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +130,8 @@ pub struct Scheduler {
     state: Mutex<SchedState>,
     /// Per-rank grant signal (all share the state mutex).
     cvs: Vec<Condvar>,
+    /// Shared backstop-expiry accounting for this world's wait paths.
+    stats: Arc<WakeupStats>,
 }
 
 impl Scheduler {
@@ -98,7 +150,17 @@ impl Scheduler {
                 status: vec![Status::Detached; n_ranks],
             }),
             cvs: (0..n_ranks).map(|_| Condvar::new()).collect(),
+            stats: Arc::new(WakeupStats::default()),
         })
+    }
+
+    /// The shared wakeup-statistics block. The scheduler outlives every
+    /// lower-half generation, so this is the natural per-world home for
+    /// the backstop-expiry counter; the mailbox and checkpoint-control
+    /// wait paths share the same block.
+    #[inline]
+    pub fn stats(&self) -> &Arc<WakeupStats> {
+        &self.stats
     }
 
     /// The default worker count for this host: every available core, but
@@ -207,7 +269,12 @@ impl Scheduler {
         st.status[rank] = Status::Queued;
         st.queue.push_back(rank);
         while st.status[rank] != Status::Granted {
-            self.cvs[rank].wait_for(st, GRANT_RECHECK);
+            let timed_out = self.cvs[rank].wait_for(st, GRANT_RECHECK).timed_out();
+            if timed_out && st.status[rank] != Status::Granted {
+                // Grants notify under the state mutex, so this can only be
+                // a genuinely unproductive wakeup — count it.
+                self.stats.record_backstop_expiry();
+            }
         }
         st.status[rank] = Status::Running;
     }

@@ -13,7 +13,7 @@
 //! restart builds the next generation onto the same scheduler with
 //! [`World::with_epoch_attached`].
 
-use crate::collective::CollRegistry;
+use crate::collective::{CollRegistry, InstanceEnv};
 use crate::comm::{CommInner, SplitKey};
 use crate::ctx::Ctx;
 use crate::group::Group;
@@ -27,6 +27,18 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Default stack size for rank threads, shared by every runner
+/// ([`run_world`], the checkpoint runners, restore replay).
+///
+/// Rank bodies are shallow — MPI-style call chains plus the wrapper layer,
+/// no deep recursion — and a debug build of the full test battery peaks
+/// well under 64 KiB of stack per rank, so 128 KiB carries 2× headroom.
+/// The old 1 MiB-per-thread default was the scale blocker the ROADMAP
+/// called out: stacks are the *only* per-rank footprint that survives
+/// parking, and at 4096 parked continuations 1 MiB apiece is 4 GiB of
+/// committed-on-touch memory for stacks alone, vs 512 MiB here.
+pub const DEFAULT_RANK_STACK: usize = 128 << 10;
+
 /// Configuration for building a [`World`].
 #[derive(Debug, Clone)]
 pub struct WorldConfig {
@@ -36,7 +48,9 @@ pub struct WorldConfig {
     pub ranks_per_node: usize,
     /// Network cost parameters.
     pub params: NetParams,
-    /// Stack size for rank threads spawned by [`run_world`].
+    /// Stack size for rank threads spawned by [`run_world`]
+    /// ([`DEFAULT_RANK_STACK`] unless overridden — rank bodies with deep
+    /// recursion should raise it via [`WorldConfig::with_stack_size`]).
     pub stack_size: usize,
     /// Concurrently-running rank bound for the cooperative scheduler;
     /// `None` sizes it to the host ([`Scheduler::default_workers`]).
@@ -50,7 +64,7 @@ impl WorldConfig {
             n_ranks: n,
             ranks_per_node: n.max(1),
             params: NetParams::default(),
-            stack_size: 1 << 20,
+            stack_size: DEFAULT_RANK_STACK,
             workers: None,
         }
     }
@@ -61,7 +75,7 @@ impl WorldConfig {
             n_ranks: n,
             ranks_per_node: rpn,
             params: NetParams::default(),
-            stack_size: 1 << 20,
+            stack_size: DEFAULT_RANK_STACK,
             workers: None,
         }
     }
@@ -69,6 +83,13 @@ impl WorldConfig {
     /// Replaces the network parameters.
     pub fn with_params(mut self, params: NetParams) -> Self {
         self.params = params;
+        self
+    }
+
+    /// Overrides the per-rank thread stack size.
+    pub fn with_stack_size(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "stack size must be positive");
+        self.stack_size = bytes;
         self
     }
 
@@ -98,6 +119,14 @@ pub struct World {
     pub(crate) next_comm: AtomicU64,
     pub(crate) coll: CollRegistry,
     pub(crate) next_instance: AtomicU64,
+    /// Messages the checkpoint coordinator injected into this generation
+    /// from outside any rank's send path (restart seeding, post-capture
+    /// continue re-deposits). Part of the p2p drain-accounting identity —
+    /// see [`World::p2p_accounting`].
+    redeposited: AtomicU64,
+    /// Messages removed from mailboxes by checkpoint drains
+    /// ([`World::take_unexpected`]) over this generation's lifetime.
+    drained: AtomicU64,
     /// The cooperative rank scheduler. Shared across lower-half
     /// generations: restart replaces the `World`, never the scheduler.
     pub(crate) sched: Arc<Scheduler>,
@@ -152,9 +181,28 @@ impl World {
             next_comm: AtomicU64::new(1),
             coll: CollRegistry::new(),
             next_instance: AtomicU64::new(1),
+            redeposited: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
             sched,
             epoch,
         })
+    }
+
+    /// The environment a [`crate::collective::CollInstance`] for `group`
+    /// needs: cost-model inputs, the participants' mailboxes (poked at
+    /// completion), and the scheduler's run-slot count as the completion
+    /// wakeup batch size.
+    pub(crate) fn instance_env(&self, group: &Group) -> InstanceEnv {
+        InstanceEnv {
+            params: Arc::clone(&self.params),
+            topo: self.topo.clone(),
+            mailboxes: group
+                .members()
+                .iter()
+                .map(|&w| Arc::clone(&self.mailboxes[w]))
+                .collect(),
+            wake_batch: self.sched.workers(),
+        }
     }
 
     /// The cooperative rank scheduler this world's ranks run under.
@@ -244,16 +292,49 @@ impl World {
     /// `rank`'s mailbox. At a safe state these are exactly the sent-but-not-
     /// received point-to-point messages that must be saved in the image.
     pub fn take_unexpected(&self, rank: usize) -> Vec<InFlightMsg> {
-        self.mailboxes[rank].drain_all()
+        let msgs = self.mailboxes[rank].drain_all();
+        self.drained.fetch_add(msgs.len() as u64, Ordering::Relaxed);
+        msgs
     }
 
     /// **Restart hook.** Re-deposits a message drained from a previous
     /// generation (arrival time is immediate: the data is already local).
-    pub fn deposit_raw(&self, mut msg: InFlightMsg, now: VTime) {
+    /// Counted as an external injection for the p2p drain accounting.
+    pub fn deposit_raw(&self, msg: InFlightMsg, now: VTime) {
+        self.redeposited.fetch_add(1, Ordering::Relaxed);
+        self.revert_unmatched(msg, now);
+    }
+
+    /// **Quiesce hook.** Returns a matched-but-uncompleted receive's
+    /// message to its destination mailbox so the capture drain records it
+    /// as in flight. Unlike [`World::deposit_raw`] this is *not* counted
+    /// as an external injection: the rank-side send counter already covers
+    /// the message, and the revert merely moves it from a request's
+    /// matched state back into the queue it came from.
+    pub fn revert_unmatched(&self, mut msg: InFlightMsg, now: VTime) {
         msg.arrival = now;
         msg.sent = now;
         let dst = msg.dst_world;
         self.mailboxes[dst].deposit(msg);
+    }
+
+    /// The lower-half side of the p2p drain-accounting identity for this
+    /// generation: `(redeposited, drained)` — messages the coordinator
+    /// injected from outside any rank's send path, and messages checkpoint
+    /// drains removed. At any quiesced point with no matched-but-
+    /// uncompleted receives outstanding,
+    ///
+    /// ```text
+    /// Σ rank sends + redeposited == Σ rank deliveries + queued + drained
+    /// ```
+    ///
+    /// must hold, where `queued` is what [`World::take_unexpected`] finds.
+    /// The checkpoint coordinator enforces exactly this at every capture.
+    pub fn p2p_accounting(&self) -> (u64, u64) {
+        (
+            self.redeposited.load(Ordering::Relaxed),
+            self.drained.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of collective instances currently in flight. The paper's
@@ -313,27 +394,120 @@ impl<R> WorldReport<R> {
     }
 }
 
+/// Spawning a rank thread failed (out of memory or a process thread
+/// limit). Before any rank runs application code, every rank thread of a
+/// world must exist — so the runner aborts the whole launch cleanly: ranks
+/// spawned before the failure are released without ever entering `f`, and
+/// the typed error reports what was being asked of the host. At 4096
+/// ranks this is an expected operational failure mode, not a programmer
+/// error, which is why it is not an `expect` panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpawnError {
+    /// Rank whose thread failed to spawn.
+    pub rank: usize,
+    /// Total ranks the launch asked for.
+    pub n_ranks: usize,
+    /// Per-thread stack size requested (bytes).
+    pub stack_size: usize,
+    /// The OS error.
+    pub reason: String,
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "failed to spawn rank thread {}/{} ({} KiB stack each): {}",
+            self.rank,
+            self.n_ranks,
+            self.stack_size >> 10,
+            self.reason
+        )
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+/// The all-or-nothing launch gate shared by every rank runner: rank
+/// threads block on it before touching the scheduler or application code,
+/// and the spawning thread releases them only once *every* spawn
+/// succeeded. On a spawn failure the gate aborts instead — already-spawned
+/// ranks return immediately (they would otherwise block forever in
+/// collectives waiting for peers that never came up) and the launcher
+/// reports a typed [`SpawnError`].
+#[derive(Default)]
+pub struct LaunchGate {
+    decision: Mutex<Option<bool>>,
+    cv: parking_lot::Condvar,
+}
+
+impl LaunchGate {
+    /// A fresh, undecided gate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rank side: blocks until the launch is decided; `true` = go.
+    pub fn wait(&self) -> bool {
+        let mut d = self.decision.lock();
+        loop {
+            if let Some(go) = *d {
+                return go;
+            }
+            self.cv.wait(&mut d);
+        }
+    }
+
+    /// Launcher side: releases every rank (`go`) or aborts the launch.
+    pub fn decide(&self, go: bool) {
+        *self.decision.lock() = Some(go);
+        self.cv.notify_all();
+    }
+}
+
 /// Spawns one thread per rank (a parked continuation under the cooperative
 /// scheduler), runs `f` on each, and reports results and virtual-time
 /// makespan. At most [`WorldConfig::workers`] ranks execute concurrently.
 /// Panics in any rank propagate; the panicking rank's run slot is released
 /// first so its peers are not starved while they run down.
+///
+/// # Panics
+/// Panics if a rank thread cannot be spawned; [`try_run_world`] surfaces
+/// that case as a typed [`SpawnError`] instead.
 pub fn run_world<R, F>(cfg: WorldConfig, f: F) -> WorldReport<R>
 where
     R: Send,
     F: Fn(&mut Ctx) -> R + Send + Sync,
 {
+    try_run_world(cfg, f).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_world`], with thread-spawn failure surfaced as a typed
+/// [`SpawnError`]: no application code has run when it is returned — ranks
+/// spawned before the failing one are aborted through the launch gate
+/// before they attach to the scheduler.
+pub fn try_run_world<R, F>(cfg: WorldConfig, f: F) -> Result<WorldReport<R>, SpawnError>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Send + Sync,
+{
     let world = World::new(cfg.clone());
+    let gate = Arc::new(LaunchGate::new());
     let mut reports: Vec<Option<RankReport<R>>> = (0..cfg.n_ranks).map(|_| None).collect();
+    let mut spawn_err = None;
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(cfg.n_ranks);
         for rank in 0..cfg.n_ranks {
             let world = Arc::clone(&world);
+            let gate = Arc::clone(&gate);
             let f = &f;
-            let h = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .stack_size(cfg.stack_size)
                 .spawn_scoped(s, move || {
+                    if !gate.wait() {
+                        return None; // aborted launch: never ran `f`
+                    }
                     let sched = Arc::clone(world.scheduler());
                     sched.attach(rank);
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -347,23 +521,37 @@ where
                     }));
                     sched.detach(rank);
                     match out {
-                        Ok(rep) => rep,
+                        Ok(rep) => Some(rep),
                         Err(p) => std::panic::resume_unwind(p),
                     }
-                })
-                .expect("failed to spawn rank thread");
-            handles.push(h);
+                });
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    spawn_err = Some(SpawnError {
+                        rank,
+                        n_ranks: cfg.n_ranks,
+                        stack_size: cfg.stack_size,
+                        reason: e.to_string(),
+                    });
+                    break;
+                }
+            }
         }
+        gate.decide(spawn_err.is_none());
         for (rank, h) in handles.into_iter().enumerate() {
             match h.join() {
-                Ok(rep) => reports[rank] = Some(rep),
+                Ok(rep) => reports[rank] = rep,
                 Err(p) => std::panic::resume_unwind(p),
             }
         }
     });
+    if let Some(e) = spawn_err {
+        return Err(e);
+    }
     let ranks: Vec<RankReport<R>> = reports.into_iter().map(|r| r.unwrap()).collect();
     let makespan = VTime::max_of(ranks.iter().map(|r| r.final_clock));
-    WorldReport { ranks, makespan }
+    Ok(WorldReport { ranks, makespan })
 }
 
 #[cfg(test)]

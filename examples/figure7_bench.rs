@@ -7,6 +7,8 @@
 //! cargo run --release --example figure7_bench
 //! # paper-scale sweep (64..512 ranks; release build strongly advised):
 //! FIGURE7_SCALE=paper cargo run --release --example figure7_bench
+//! # beyond-paper sweep (1024..4096 ranks; minutes of wall time):
+//! FIGURE7_SCALE=xl cargo run --release --example figure7_bench
 //! ```
 
 use bench::{figure7_report, figure7_to_json, Figure7Config};
@@ -14,22 +16,32 @@ use bench::{figure7_report, figure7_to_json, Figure7Config};
 fn main() {
     let cfg = match std::env::var("FIGURE7_SCALE").as_deref() {
         Ok("paper") => Figure7Config::paper_scale(),
+        Ok("xl") => Figure7Config::xl_scale(),
+        // CI's time-budgeted variant of the xl sweep: same schedule, top
+        // size capped at 2048 (the 4096 cells run locally).
+        Ok("ci-xl") => {
+            let mut c = Figure7Config::xl_scale();
+            c.ranks.retain(|&n| n <= 2048);
+            c
+        }
         _ => Figure7Config::default(),
     };
     let report = figure7_report(&cfg);
 
     println!(
-        "{:<16} {:>6} {:>14} {:>16} {:>22}",
-        "workload", "ranks", "coll rate(Hz)", "max drain(s)", "max drain(intervals)"
+        "{:<16} {:>6} {:>14} {:>12} {:>12} {:>12} {:>18}",
+        "workload", "ranks", "coll rate(Hz)", "p50(s)", "p90(s)", "p99(s)", "p99(intervals)"
     );
     for r in &report {
         println!(
-            "{:<16} {:>6} {:>14.1} {:>16.4e} {:>22.2}",
+            "{:<16} {:>6} {:>14.1} {:>12.4e} {:>12.4e} {:>12.4e} {:>18.2}",
             r.workload,
             r.ranks,
             r.coll_rate_hz,
-            r.max_latency_s(),
-            r.max_latency_intervals(),
+            r.latency_percentile_s(0.5),
+            r.latency_percentile_s(0.9),
+            r.latency_percentile_s(0.99),
+            r.latency_percentile_intervals(0.99),
         );
     }
 
