@@ -139,6 +139,64 @@ impl Figure7Record {
     }
 }
 
+/// One collective-rate bucket of the full Figure 7 CDF. The paper plots
+/// one CDF curve per collective-rate band; the summary percentiles in
+/// each [`Figure7Record`] are points on these curves, and this is the
+/// whole curve: every drain-latency sample of every cell in the band,
+/// sorted ascending, so the empirical CDF at the `k`-th sample (0-based)
+/// is `(k + 1) / len`.
+#[derive(Debug, Clone)]
+pub struct Figure7CdfBucket {
+    /// The bucket's decade: cells with
+    /// `floor(log10(coll_rate_hz)) == rate_decade` pool here.
+    pub rate_decade: i32,
+    /// Inclusive lower collective-rate bound, `10^rate_decade` Hz.
+    pub rate_lo_hz: f64,
+    /// Exclusive upper collective-rate bound, `10^(rate_decade+1)` Hz.
+    pub rate_hi_hz: f64,
+    /// Number of (workload × world size) cells pooled into the bucket.
+    pub cells: usize,
+    /// Every drain-latency sample in the bucket, seconds, sorted
+    /// ascending.
+    pub samples_s: Vec<f64>,
+    /// The same samples in units of each source cell's mean collective
+    /// interval (the paper's x-axis), sorted ascending.
+    pub samples_intervals: Vec<f64>,
+}
+
+/// Pools per-cell drain-latency samples into collective-rate decade
+/// buckets and sorts them — the full per-bucket CDFs the paper plots.
+/// Cells that measured no collectives are skipped (they have no rate to
+/// bucket by).
+pub fn figure7_cdf(records: &[Figure7Record]) -> Vec<Figure7CdfBucket> {
+    use std::collections::BTreeMap;
+    let mut buckets: BTreeMap<i32, Figure7CdfBucket> = BTreeMap::new();
+    for r in records {
+        if r.coll_rate_hz <= 0.0 || !r.coll_rate_hz.is_finite() {
+            continue;
+        }
+        let decade = r.coll_rate_hz.log10().floor() as i32;
+        let b = buckets.entry(decade).or_insert_with(|| Figure7CdfBucket {
+            rate_decade: decade,
+            rate_lo_hz: 10f64.powi(decade),
+            rate_hi_hz: 10f64.powi(decade + 1),
+            cells: 0,
+            samples_s: Vec::new(),
+            samples_intervals: Vec::new(),
+        });
+        b.cells += 1;
+        b.samples_s.extend_from_slice(&r.drain_latency_s);
+        b.samples_intervals
+            .extend(r.drain_latency_s.iter().map(|&l| r.to_intervals(l)));
+    }
+    let mut out: Vec<Figure7CdfBucket> = buckets.into_values().collect();
+    for b in &mut out {
+        b.samples_s.sort_by(f64::total_cmp);
+        b.samples_intervals.sort_by(f64::total_cmp);
+    }
+    out
+}
+
 fn world_cfg(cfg: &Figure7Config, n: usize) -> WorldConfig {
     WorldConfig::multi_node(n, cfg.ranks_per_node)
         .with_params(NetParams::slingshot11().without_jitter())
@@ -327,10 +385,12 @@ pub fn assert_figure7_shape(records: &[Figure7Record], expected_ckpts: usize) {
     }
 }
 
-/// Serializes records as a JSON array (no external dependencies). Each
-/// row carries the raw per-checkpoint samples plus p50/p90/p99 summaries
-/// of the drain-latency distribution (seconds), the paper's CDF summary
-/// points.
+/// Serializes the report as a JSON object (no external dependencies):
+/// `"cells"` is the per-(workload × ranks) matrix — raw per-checkpoint
+/// samples plus p50/p90/p99 summaries of the drain-latency distribution
+/// (seconds) — and `"cdf"` is the full per-collective-rate-bucket CDF
+/// ([`figure7_cdf`]): sorted sample arrays in seconds and in mean
+/// collective intervals, the curves the paper's Figure 7 plots.
 pub fn figure7_to_json(records: &[Figure7Record]) -> String {
     let f = |v: f64| {
         if v.is_finite() {
@@ -339,12 +399,15 @@ pub fn figure7_to_json(records: &[Figure7Record]) -> String {
             "null".to_string()
         }
     };
+    let flist = |vs: &[f64]| {
+        let items: Vec<String> = vs.iter().map(|&v| f(v)).collect();
+        items.join(",")
+    };
     let mut rows = Vec::with_capacity(records.len());
     for r in records {
-        let lats: Vec<String> = r.drain_latency_s.iter().map(|&v| f(v)).collect();
         rows.push(format!(
             concat!(
-                "  {{\"workload\":\"{}\",\"ranks\":{},\"coll_rate_hz\":{},",
+                "    {{\"workload\":\"{}\",\"ranks\":{},\"coll_rate_hz\":{},",
                 "\"coll_interval_s\":{},\"drain_latency_s\":[{}],",
                 "\"p50_s\":{},\"p90_s\":{},\"p99_s\":{}}}"
             ),
@@ -352,13 +415,32 @@ pub fn figure7_to_json(records: &[Figure7Record]) -> String {
             r.ranks,
             f(r.coll_rate_hz),
             f(r.coll_interval_s),
-            lats.join(","),
+            flist(&r.drain_latency_s),
             f(r.latency_percentile_s(0.5)),
             f(r.latency_percentile_s(0.9)),
             f(r.latency_percentile_s(0.99)),
         ));
     }
-    format!("[\n{}\n]\n", rows.join(",\n"))
+    let mut cdf_rows = Vec::new();
+    for b in figure7_cdf(records) {
+        cdf_rows.push(format!(
+            concat!(
+                "    {{\"rate_decade\":{},\"rate_lo_hz\":{},\"rate_hi_hz\":{},",
+                "\"cells\":{},\"samples_s\":[{}],\"samples_intervals\":[{}]}}"
+            ),
+            b.rate_decade,
+            f(b.rate_lo_hz),
+            f(b.rate_hi_hz),
+            b.cells,
+            flist(&b.samples_s),
+            flist(&b.samples_intervals),
+        ));
+    }
+    format!(
+        "{{\n  \"cells\": [\n{}\n  ],\n  \"cdf\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        cdf_rows.join(",\n")
+    )
 }
 
 #[cfg(test)]
@@ -375,11 +457,50 @@ mod tests {
             drain_latency_s: vec![0.5e-3, 0.7e-3],
         };
         let s = figure7_to_json(&[rec]);
+        assert!(s.contains("\"cells\""));
+        assert!(s.contains("\"cdf\""));
         assert!(s.contains("\"workload\":\"scf\""));
         assert!(s.contains("\"drain_latency_s\":[0.000500000,0.000700000]"));
         assert!(s.contains("\"p50_s\":0.000500000"));
         assert!(s.contains("\"p99_s\":0.000700000"));
+        assert!(s.contains("\"rate_decade\":3"));
+        assert!(s.contains("\"samples_s\":[0.000500000,0.000700000]"));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn cdf_buckets_pool_and_sort_samples_by_rate_decade() {
+        let cell = |rate: f64, lats: Vec<f64>| Figure7Record {
+            workload: "scf",
+            ranks: 8,
+            coll_rate_hz: rate,
+            coll_interval_s: 1.0 / rate,
+            drain_latency_s: lats,
+        };
+        let records = vec![
+            cell(150.0, vec![0.03, 0.01]),      // decade 2
+            cell(900.0, vec![0.002]),           // decade 2
+            cell(2000.0, vec![0.0007, 0.0002]), // decade 3
+            cell(0.0, vec![1.0]),               // no rate: skipped
+        ];
+        let cdf = figure7_cdf(&records);
+        assert_eq!(cdf.len(), 2);
+        let b2 = &cdf[0];
+        assert_eq!(b2.rate_decade, 2);
+        assert_eq!((b2.rate_lo_hz, b2.rate_hi_hz), (100.0, 1000.0));
+        assert_eq!(b2.cells, 2);
+        assert_eq!(b2.samples_s, vec![0.002, 0.01, 0.03], "sorted ascending");
+        // Interval units use each *source cell's* interval: 0.002 s at
+        // 900 Hz is 1.8 intervals; 0.01/0.03 s at 150 Hz are 1.5 and 4.5.
+        let expect = [1.5, 1.8, 4.5];
+        for (got, want) in b2.samples_intervals.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+        let b3 = &cdf[1];
+        assert_eq!(b3.rate_decade, 3);
+        assert_eq!(b3.cells, 1);
+        assert_eq!(b3.samples_s, vec![0.0002, 0.0007]);
     }
 
     #[test]

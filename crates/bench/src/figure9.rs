@@ -13,14 +13,24 @@
 //!   small world sizes, serialized through the image wire format, so the
 //!   sweep also reports how the dynamic runtime state (the part this
 //!   system actually stores — drained messages, communicator logs, pending
-//!   receives) scales with rank count.
+//!   receives) scales with rank count;
+//! * a **capture-pipeline sweep**: host wall time of the parallel
+//!   zero-copy encoder ([`ckpt::Checkpoint::to_bytes_parallel`]) over
+//!   deterministic synthetic images at 512–4096 ranks — the
+//!   `capture_wall_s` column. The asserted shape
+//!   ([`assert_figure9_capture_shape`]) is that the **per-rank** encode
+//!   wall time stays flat (within 2×) from the smallest to the largest
+//!   world: per-rank sections are encoded independently into pre-sized
+//!   disjoint windows, so the pipeline has no superlinear component.
 //!
 //! `examples/figure9_bench.rs` writes the result to `BENCH_figure9.json`
 //! next to the protocol-comparison bench's `BENCH_protocols.json`.
 
+use crate::synth::synthetic_checkpoint;
 use ckpt::{run_ckpt_world, CkptOptions, ResumeMode};
-use mpisim::{NetParams, VTime, WorldConfig};
+use mpisim::{NetParams, Scheduler, VTime, WorldConfig};
 use netmodel::LustreModel;
+use std::time::Instant;
 use workloads::{random_workload, RandomWorkloadCfg};
 
 /// One cell of the model sweep.
@@ -53,6 +63,33 @@ pub struct Figure9MeasuredImage {
     pub cut_events: usize,
     /// Virtual capture time, seconds.
     pub capture_clock_s: f64,
+    /// Host wall seconds of the committed capture bracket (parallel
+    /// clone-out on the scheduler's borrowed workers), from
+    /// [`ckpt::CkptRunReport::capture_wall_s`].
+    pub capture_wall_s: f64,
+}
+
+/// One point of the capture-pipeline sweep: wall time to serialize a
+/// synthetic `ranks`-rank image through the parallel zero-copy encoder.
+#[derive(Debug, Clone)]
+pub struct Figure9CapturePoint {
+    /// World size of the synthetic image.
+    pub ranks: usize,
+    /// Encoder worker threads used.
+    pub workers: usize,
+    /// Serialized image size in bytes (header included).
+    pub serialized_bytes: usize,
+    /// Encode wall time, seconds (min over `capture_reps` repetitions —
+    /// the repeatable cost, robust to scheduling noise).
+    pub capture_wall_s: f64,
+}
+
+impl Figure9CapturePoint {
+    /// Encode wall time per rank, seconds — the quantity that must stay
+    /// flat as worlds grow.
+    pub fn per_rank_capture_wall_s(&self) -> f64 {
+        self.capture_wall_s / self.ranks.max(1) as f64
+    }
 }
 
 /// The full Figure 9 result.
@@ -62,6 +99,8 @@ pub struct Figure9Report {
     pub model: Vec<Figure9ModelPoint>,
     /// Measured serialized images, by world size.
     pub measured: Vec<Figure9MeasuredImage>,
+    /// Capture-pipeline wall-time sweep, by world size.
+    pub capture: Vec<Figure9CapturePoint>,
 }
 
 /// Sweep configuration.
@@ -77,6 +116,10 @@ pub struct Figure9Config {
     pub measured_ranks: Vec<usize>,
     /// Random-workload steps for the measured captures.
     pub steps: usize,
+    /// World sizes for the capture-pipeline sweep (synthetic images).
+    pub capture_ranks: Vec<usize>,
+    /// Repetitions per capture-pipeline point; the minimum is reported.
+    pub capture_reps: usize,
     /// The filesystem model.
     pub model: LustreModel,
 }
@@ -90,6 +133,9 @@ impl Default for Figure9Config {
             image_bytes_per_rank: vec![64 << 20, 398 * 1024 * 1024, 1 << 30],
             measured_ranks: vec![2, 4, 8],
             steps: 25,
+            // The paper's top size through the beyond-paper tier.
+            capture_ranks: vec![512, 1024, 2048, 4096],
+            capture_reps: 5,
             model: LustreModel::perlmutter_scratch(),
         }
     }
@@ -136,10 +182,93 @@ pub fn figure9_report(cfg: &Figure9Config) -> Figure9Report {
             in_flight_bytes: image.in_flight_bytes(),
             cut_events: image.cut_events.len(),
             capture_clock_s: image.capture_clock().as_secs(),
+            capture_wall_s: run.capture_wall_s.first().copied().unwrap_or(0.0),
         });
     }
 
-    Figure9Report { model, measured }
+    let capture = capture_sweep(&cfg.capture_ranks, cfg.capture_reps);
+
+    Figure9Report {
+        model,
+        measured,
+        capture,
+    }
+}
+
+/// Times the parallel zero-copy encoder over deterministic synthetic
+/// images, one point per world size, `reps` repetitions each (minimum
+/// reported). Worker count matches what a real capture bracket would
+/// borrow on this host ([`Scheduler::default_workers`]).
+pub fn capture_sweep(capture_ranks: &[usize], reps: usize) -> Vec<Figure9CapturePoint> {
+    let workers = Scheduler::default_workers();
+    let mut out = Vec::with_capacity(capture_ranks.len());
+    for &n in capture_ranks {
+        let image = synthetic_checkpoint(n, 0xF19);
+        let mut best = f64::INFINITY;
+        let mut serialized_bytes = 0;
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            let bytes = image.to_bytes_parallel(workers);
+            best = best.min(t0.elapsed().as_secs_f64());
+            serialized_bytes = bytes.len();
+        }
+        out.push(Figure9CapturePoint {
+            ranks: n,
+            workers,
+            serialized_bytes,
+            capture_wall_s: best,
+        });
+    }
+    out
+}
+
+/// The capture-pipeline shape check, shared by the bench example and the
+/// tier-1 test: every point timed something real, serialized size grows
+/// with the world, and the **per-rank** encode wall time stays flat —
+/// the largest world's per-rank cost is within `2×` of the smallest
+/// world's. Per-rank sections encode independently into pre-sized
+/// disjoint windows, so rank count must not buy superlinear encode time.
+///
+/// # Panics
+/// Panics when the shape is violated.
+pub fn assert_figure9_capture_shape(points: &[Figure9CapturePoint]) {
+    /// Per-rank growth ceiling across the sweep.
+    const FLATNESS_FACTOR: f64 = 2.0;
+
+    assert!(points.len() >= 2, "capture sweep needs at least two sizes");
+    for p in points {
+        assert!(
+            p.capture_wall_s.is_finite() && p.capture_wall_s > 0.0,
+            "capture point at {} ranks timed nothing: {}",
+            p.ranks,
+            p.capture_wall_s
+        );
+        assert!(p.serialized_bytes > 0, "empty image at {} ranks", p.ranks);
+    }
+    let mut sorted: Vec<&Figure9CapturePoint> = points.iter().collect();
+    sorted.sort_by_key(|p| p.ranks);
+    for w in sorted.windows(2) {
+        assert!(
+            w[0].serialized_bytes < w[1].serialized_bytes,
+            "serialized bytes must grow with rank count: {} ranks -> {} B, {} ranks -> {} B",
+            w[0].ranks,
+            w[0].serialized_bytes,
+            w[1].ranks,
+            w[1].serialized_bytes
+        );
+    }
+    let (small, large) = (sorted[0], sorted[sorted.len() - 1]);
+    let (base, top) = (
+        small.per_rank_capture_wall_s(),
+        large.per_rank_capture_wall_s(),
+    );
+    assert!(
+        top <= FLATNESS_FACTOR * base,
+        "per-rank capture wall time grew with world size: {base:.3e} s/rank at {} ranks \
+         vs {top:.3e} s/rank at {} ranks (ceiling {FLATNESS_FACTOR}x)",
+        small.ranks,
+        large.ranks
+    );
 }
 
 fn json_f64(v: f64) -> String {
@@ -177,20 +306,39 @@ pub fn figure9_to_json(report: &Figure9Report) -> String {
             format!(
                 concat!(
                     "    {{\"ranks\":{},\"serialized_bytes\":{},\"in_flight_bytes\":{},",
-                    "\"cut_events\":{},\"capture_clock_s\":{}}}"
+                    "\"cut_events\":{},\"capture_clock_s\":{},\"capture_wall_s\":{}}}"
                 ),
                 m.ranks,
                 m.serialized_bytes,
                 m.in_flight_bytes,
                 m.cut_events,
                 json_f64(m.capture_clock_s),
+                json_f64(m.capture_wall_s),
+            )
+        })
+        .collect();
+    let capture: Vec<String> = report
+        .capture
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "    {{\"ranks\":{},\"workers\":{},\"serialized_bytes\":{},",
+                    "\"capture_wall_s\":{},\"per_rank_capture_wall_s\":{}}}"
+                ),
+                p.ranks,
+                p.workers,
+                p.serialized_bytes,
+                json_f64(p.capture_wall_s),
+                json_f64(p.per_rank_capture_wall_s()),
             )
         })
         .collect();
     format!(
-        "{{\n  \"model\": [\n{}\n  ],\n  \"measured\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"model\": [\n{}\n  ],\n  \"measured\": [\n{}\n  ],\n  \"capture\": [\n{}\n  ]\n}}\n",
         model.join(",\n"),
-        measured.join(",\n")
+        measured.join(",\n"),
+        capture.join(",\n")
     )
 }
 
@@ -202,6 +350,7 @@ mod tests {
     fn model_sweep_reproduces_figure9_shape() {
         let cfg = Figure9Config {
             measured_ranks: vec![], // model only; captures are covered below
+            capture_ranks: vec![],
             ..Figure9Config::default()
         };
         let rep = figure9_report(&cfg);
@@ -244,6 +393,8 @@ mod tests {
             image_bytes_per_rank: vec![64 << 20],
             measured_ranks: vec![2, 4],
             steps: 20,
+            capture_ranks: vec![16, 32],
+            capture_reps: 2,
             ..Figure9Config::default()
         };
         let rep = figure9_report(&cfg);
@@ -251,11 +402,30 @@ mod tests {
         for m in &rep.measured {
             assert!(m.serialized_bytes > 0);
             assert!(m.cut_events > 0);
+            // A committed checkpoint must have recorded its capture
+            // bracket's wall time.
+            assert!(
+                m.capture_wall_s.is_finite() && m.capture_wall_s > 0.0,
+                "missing capture_wall_s at {} ranks: {}",
+                m.ranks,
+                m.capture_wall_s
+            );
         }
+        assert_eq!(rep.capture.len(), 2);
         let json = figure9_to_json(&rep);
         assert!(json.contains("\"model\""));
         assert!(json.contains("\"measured\""));
+        assert!(json.contains("\"capture\""));
+        assert!(json.contains("\"capture_wall_s\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    /// The ISSUE's tier-1 flatness gate: per-rank encode wall time of the
+    /// parallel capture pipeline within 2× from 512 to 4096 ranks.
+    #[test]
+    fn capture_pipeline_per_rank_wall_time_stays_flat_512_to_4096() {
+        let points = capture_sweep(&[512, 1024, 2048, 4096], 5);
+        assert_figure9_capture_shape(&points);
     }
 }

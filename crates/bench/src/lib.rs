@@ -21,8 +21,15 @@ use workloads::{bcast_pipeline, halo_exchange, scf_loop};
 
 pub mod figure7;
 pub mod figure9;
-pub use figure7::{figure7_report, figure7_to_json, Figure7Config, Figure7Record};
-pub use figure9::{figure9_report, figure9_to_json, Figure9Config, Figure9Report};
+pub mod synth;
+pub use figure7::{
+    figure7_cdf, figure7_report, figure7_to_json, Figure7CdfBucket, Figure7Config, Figure7Record,
+};
+pub use figure9::{
+    assert_figure9_capture_shape, capture_sweep, figure9_report, figure9_to_json,
+    Figure9CapturePoint, Figure9Config, Figure9Report,
+};
+pub use synth::synthetic_checkpoint;
 
 /// A workload in the protocol-comparison matrix. All are 2PC-compatible
 /// (no non-blocking collectives).

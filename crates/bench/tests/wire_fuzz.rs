@@ -169,6 +169,80 @@ fn checksum_repaired_flips_never_panic() {
     }
 }
 
+/// Aims mutations at the **per-rank capture section boundaries** the
+/// parallel encoder writes into disjoint windows
+/// (`Checkpoint::capture_section_ranges`): the first and last bytes of
+/// every section, plus the length-prefix words at each section start.
+/// A boundary flip with a repaired checksum lands in the structural
+/// decoder exactly where one rank's section ends and the next begins —
+/// if the section tiling ever drifted from the decoder's expectations,
+/// it would surface here as a panic, a hang, or a silently-shifted
+/// decode. The decoder must return a typed error or a shape-consistent
+/// image, never unwind.
+#[test]
+fn section_boundary_mutations_never_panic() {
+    let image = capture_image();
+    let bytes = image.to_bytes();
+    let ranges = image.capture_section_ranges();
+    assert_eq!(ranges.len(), image.n_ranks);
+    let mut rng = SplitMix64::new(0x5EC7);
+
+    let mut positions: Vec<usize> = Vec::new();
+    for r in &ranges {
+        // Both edges of the section, and the 8-byte words straddling the
+        // start (a section opens with length-prefixed containers, so
+        // these flips forge interior sequence lengths).
+        positions.extend([r.start, r.end - 1]);
+        positions.extend(r.start..(r.start + 8).min(r.end));
+        // A few interior samples per section.
+        for _ in 0..4 {
+            positions.push(r.start + rng.next_range((r.end - r.start) as u64) as usize);
+        }
+    }
+    for pos in positions {
+        let flip = 1u8 << rng.next_range(8);
+        let mut m = bytes.clone();
+        m[pos] ^= flip;
+        fix_checksum(&mut m);
+        if let Ok(decoded) = decode_no_panic(&m, &format!("section-boundary flip at {pos}")) {
+            assert_eq!(
+                decoded.captures.len(),
+                image.n_ranks,
+                "boundary flip at {pos} broke the capture-per-rank invariant"
+            );
+        }
+    }
+}
+
+/// The section ranges advertised for fuzzing must agree with the bytes
+/// the encoder actually produces: re-encoding with a single rank's
+/// capture mutated changes exactly that section (plus the header
+/// checksum), for both the serial and the parallel encoder.
+#[test]
+fn section_ranges_agree_with_parallel_encoder_output() {
+    let image = capture_image();
+    let bytes = image.to_bytes();
+    let ranges = image.capture_section_ranges();
+
+    let mut tweaked = image.clone();
+    tweaked.captures[2].p2p_delivered += 1;
+    for workers in [1, 2, 8] {
+        let b2 = tweaked.to_bytes_parallel(workers);
+        assert_eq!(b2.len(), bytes.len());
+        for (i, r) in ranges.iter().enumerate() {
+            assert_eq!(
+                bytes[r.clone()] == b2[r.clone()],
+                i != 2,
+                "only rank 2's section may change (workers={workers}, section {i})"
+            );
+        }
+        assert_eq!(
+            bytes[ranges.last().unwrap().end..],
+            b2[ranges.last().unwrap().end..]
+        );
+    }
+}
+
 /// Version and magic words are validated before anything else.
 #[test]
 fn bad_magic_and_version_are_typed() {

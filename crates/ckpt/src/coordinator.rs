@@ -20,11 +20,12 @@
 
 use crate::image::{CaptureOrigin, Checkpoint, DrainedMsg};
 use crate::session::Session;
-use mana_core::{CkptPhase, DrainEvent, Ggid, Protocol, RankState, RuntimeCapture};
+use mana_core::{CkptPhase, DrainEvent, Ggid, Protocol, RankCtl, RankState, RuntimeCapture};
 use mpisim::msg::InFlightMsg;
 use mpisim::types::CommId;
 use mpisim::{SavedMsg, VTime, World, WorldConfig};
 use netmodel::LustreModel;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Arc;
@@ -165,6 +166,9 @@ pub struct Coordinator {
     sh: Arc<Session>,
     storage: Option<StorageSpec>,
     stall_timeout: Duration,
+    /// Wall-clock seconds of each committed capture bracket (capture-phase
+    /// entry through in-flight drain and accounting), in commit order.
+    capture_walls: Mutex<Vec<f64>>,
 }
 
 impl Coordinator {
@@ -174,7 +178,16 @@ impl Coordinator {
             sh,
             storage: None,
             stall_timeout: DEFAULT_STALL_TIMEOUT,
+            capture_walls: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Wall-clock seconds each committed checkpoint spent in the capture
+    /// bracket (per-rank state cloned off the borrowed worker pool plus the
+    /// in-flight drain), in commit order. Host wall time, not virtual time —
+    /// the benchmark's `capture_wall_s` column.
+    pub fn capture_wall_history(&self) -> Vec<f64> {
+        self.capture_walls.lock().clone()
     }
 
     /// Attaches a storage model: image I/O is charged to the ranks'
@@ -276,6 +289,7 @@ impl Coordinator {
             std::thread::sleep(POLL);
         }
         control.set_phase(CkptPhase::Capturing);
+        let capture_t0 = Instant::now();
 
         let world = sh.current_world();
         let tb_parked = control
@@ -298,17 +312,12 @@ impl Coordinator {
                 "collective invariant (§2.2) violated at capture"
             );
         }
-        let captures: Vec<RuntimeCapture> = control
-            .ranks
-            .iter()
-            .enumerate()
-            .map(|(i, rc)| {
-                rc.capture_slot
-                    .lock()
-                    .clone()
-                    .unwrap_or_else(|| panic!("rank {i} parked without publishing a capture"))
-            })
-            .collect();
+        // Every rank is parked slotless at this point, so the scheduler's
+        // whole run-slot pool is idle: borrow it and clone the published
+        // captures in parallel instead of walking 4096 slots on one core.
+        let captures: Vec<RuntimeCapture> = world
+            .scheduler()
+            .borrow_workers(|k| parallel_capture(k, &control.ranks));
 
         // Drain in-flight point-to-point messages, translating lower-half
         // communicator ids into the destination's virtual ids. A quiesce
@@ -388,6 +397,10 @@ impl Coordinator {
             }
         }
 
+        // The capture bracket ends here: state cloned, in-flight messages
+        // drained and accounted. What follows is cost modeling and resume.
+        let capture_wall_s = capture_t0.elapsed().as_secs_f64();
+
         // Storage: a checkpoint writes every live rank's image in parallel;
         // a restart reads them back. The cost lands on the virtual clocks
         // at resume.
@@ -421,6 +434,7 @@ impl Coordinator {
             io_read_secs,
         };
         sh.trace.push(DrainEvent::Committed);
+        self.capture_walls.lock().push(capture_wall_s);
 
         // Resume.
         match mode {
@@ -520,7 +534,10 @@ impl Coordinator {
     }
 
     /// Image write/read times for this checkpoint under the configured
-    /// storage model (zero when none is attached).
+    /// storage model (zero when none is attached). The write side charges
+    /// the full capture pipeline: serializing each node's images into write
+    /// buffers — parallel across the worker pool, per
+    /// [`LustreModel::encode_time`] — and then the filesystem transfer.
     fn io_times(
         &self,
         mode: ResumeMode,
@@ -534,7 +551,11 @@ impl Coordinator {
         let rpn = self.sh.cfg.ranks_per_node;
         let (nodes, files_per_node, bytes_per_file) =
             image_file_layout(st, n_ranks, rpn, in_flight, captures);
-        let w = st.model.write_time(nodes, files_per_node, bytes_per_file);
+        let enc_workers = self.sh.cfg.resolved_workers();
+        let encode = st
+            .model
+            .encode_time(files_per_node as u64 * bytes_per_file, enc_workers);
+        let w = encode + st.model.write_time(nodes, files_per_node, bytes_per_file);
         let r = match mode {
             ResumeMode::Restart => st.model.read_time(nodes, files_per_node, bytes_per_file),
             ResumeMode::Continue => 0.0,
@@ -647,6 +668,44 @@ impl Coordinator {
             && self.sh.bus.all_empty()
             && !control.any_in_collective()
     }
+}
+
+/// Clones every rank's published capture out of its control slot, fanning
+/// contiguous rank batches across up to `workers` scoped threads. The world
+/// is quiesced when this runs — every rank parked slotless — so the
+/// borrowed scheduler slots are genuinely idle cores, and the slots' own
+/// FIFO hand-off resumes queued ranks untouched afterwards.
+fn parallel_capture(workers: usize, ranks: &[RankCtl]) -> Vec<RuntimeCapture> {
+    fn clone_one(i: usize, rc: &RankCtl) -> RuntimeCapture {
+        rc.capture_slot
+            .lock()
+            .clone()
+            .unwrap_or_else(|| panic!("rank {i} parked without publishing a capture"))
+    }
+    let workers = workers.clamp(1, ranks.len().max(1));
+    if workers <= 1 {
+        return ranks
+            .iter()
+            .enumerate()
+            .map(|(i, rc)| clone_one(i, rc))
+            .collect();
+    }
+    let mut out: Vec<Option<RuntimeCapture>> = (0..ranks.len()).map(|_| None).collect();
+    let chunk = ranks.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (ci, slots) in out.chunks_mut(chunk).enumerate() {
+            let base = ci * chunk;
+            scope.spawn(move || {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    let i = base + j;
+                    *slot = Some(clone_one(i, &ranks[i]));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|c| c.expect("every rank batch filled"))
+        .collect()
 }
 
 /// The on-storage layout of one image set under a block-packed topology:

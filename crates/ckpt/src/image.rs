@@ -11,7 +11,7 @@
 //! file is rejected with a typed [`ImageError`] instead of producing a
 //! silently-wrong restore.
 
-use crate::wire::{fnv1a64, Dec, DecodeError, Enc};
+use crate::wire::{fnv1a64, CountEnc, Dec, DecodeError, Fnv1a, SliceEnc, Wr};
 use mana_core::capture::PendingRecv;
 use mana_core::{
     verify_safe_cut, CallCounters, CommOp, CommOpRecord, ExecEvent, Ggid, Node, Protocol,
@@ -200,44 +200,110 @@ impl Checkpoint {
     // Serialization
     // ------------------------------------------------------------------
 
-    /// Serializes the image: an 8-byte magic, a `u32` format version, a
-    /// `u64` payload length, a `u64` FNV-1a payload checksum, then the
-    /// payload. Deterministic: the same image always yields the same bytes
-    /// (maps are written sorted by key).
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut p = Enc::new();
+    /// Payload fields that precede the per-rank capture sections, up to and
+    /// including the capture count. Shared by the counting pass (exact
+    /// pre-sizing) and the write pass, so the two can never disagree.
+    fn enc_payload_prefix<W: Wr>(&self, p: &mut W) {
         p.u64(self.epoch);
         p.usize(self.n_ranks);
         p.u8(protocol_code(self.protocol));
         p.usize(self.origin.ranks_per_node);
-        enc_params(&mut p, &self.origin.params);
+        enc_params(p, &self.origin.params);
         p.f64(self.request_clock.as_secs());
-        enc_target_map(&mut p, &self.initial_targets);
-        enc_target_map(&mut p, &self.final_targets);
-        enc_target_map(&mut p, &self.achieved);
+        enc_target_map(p, &self.initial_targets);
+        enc_target_map(p, &self.final_targets);
+        enc_target_map(p, &self.achieved);
         p.usize(self.captures.len());
-        for c in &self.captures {
-            enc_capture(&mut p, c);
-        }
+    }
+
+    /// Payload fields that follow the per-rank capture sections.
+    fn enc_payload_suffix<W: Wr>(&self, p: &mut W) {
         p.usize(self.in_flight.len());
         for m in &self.in_flight {
-            enc_drained(&mut p, m);
+            enc_drained(p, m);
         }
         p.usize(self.cut_events.len());
         for e in &self.cut_events {
-            enc_event(&mut p, e);
+            enc_event(p, e);
         }
         p.f64(self.io_write_secs);
         p.f64(self.io_read_secs);
-        let payload = p.into_bytes();
+    }
 
-        let mut out = Enc::new();
+    /// Serializes the image: an 8-byte magic, a `u32` format version, a
+    /// `u64` payload length, a `u64` FNV-1a payload checksum, then the
+    /// payload. Deterministic: the same image always yields the same bytes
+    /// (maps are written sorted by key).
+    ///
+    /// Zero-copy: the header is reserved up front, sections are encoded in
+    /// place behind it, and length+checksum are backpatched — no temporary
+    /// payload buffer. Equivalent to `to_bytes_parallel(1)`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_parallel(1)
+    }
+
+    /// Like [`Checkpoint::to_bytes`], but encodes the per-rank capture
+    /// sections on up to `workers` threads.
+    ///
+    /// Every section's size is computed exactly by running the same encode
+    /// code through a byte counter, so each worker writes into a disjoint
+    /// pre-sized window of the final buffer. Section contents are
+    /// position-independent, which makes the output byte-for-byte identical
+    /// to the serial encoder for any worker count.
+    pub fn to_bytes_parallel(&self, workers: usize) -> Vec<u8> {
+        let section_lens: Vec<usize> = self.captures.iter().map(capture_section_len).collect();
+        let sections_total: usize = section_lens.iter().sum();
+        let mut prefix = CountEnc::new();
+        self.enc_payload_prefix(&mut prefix);
+        let mut suffix = CountEnc::new();
+        self.enc_payload_suffix(&mut suffix);
+        let total = IMAGE_HEADER_LEN + prefix.count() + sections_total + suffix.count();
+
+        let mut out: Vec<u8> = Vec::with_capacity(total);
         out.raw(&IMAGE_MAGIC);
         out.u32(IMAGE_VERSION);
-        out.usize(payload.len());
-        out.u64(fnv1a64(&payload));
-        out.raw(&payload);
-        out.into_bytes()
+        out.usize(0); // payload length — backpatched below
+        out.u64(0); // checksum — backpatched below
+        self.enc_payload_prefix(&mut out);
+        let cap_start = out.len();
+        out.resize(cap_start + sections_total, 0);
+        encode_capture_sections(
+            workers,
+            &self.captures,
+            &section_lens,
+            &mut out[cap_start..cap_start + sections_total],
+        );
+        self.enc_payload_suffix(&mut out);
+        debug_assert_eq!(out.len(), total, "pre-sized encode drifted");
+
+        // Incremental checksum over the assembled payload, in place — the
+        // old second pass that copied the payload behind the header is gone.
+        let mut h = Fnv1a::new();
+        h.update(&out[IMAGE_HEADER_LEN..]);
+        let payload_len = (total - IMAGE_HEADER_LEN) as u64;
+        out[IMAGE_LEN_OFFSET..IMAGE_LEN_OFFSET + 8].copy_from_slice(&payload_len.to_le_bytes());
+        out[IMAGE_CHECKSUM_OFFSET..IMAGE_CHECKSUM_OFFSET + 8]
+            .copy_from_slice(&h.digest().to_le_bytes());
+        out
+    }
+
+    /// Byte range of every rank's capture section within the serialized
+    /// image, in rank order. The layout is `[header][prefix][capture
+    /// sections…][suffix]`; fuzzers use this to aim mutations at section
+    /// boundaries.
+    pub fn capture_section_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        let mut prefix = CountEnc::new();
+        self.enc_payload_prefix(&mut prefix);
+        let mut at = IMAGE_HEADER_LEN + prefix.count();
+        self.captures
+            .iter()
+            .map(|c| {
+                let len = capture_section_len(c);
+                let r = at..at + len;
+                at += len;
+                r
+            })
+            .collect()
     }
 
     /// Parses a serialized image, validating magic, version, length, and
@@ -373,10 +439,69 @@ impl Checkpoint {
         Checkpoint::from_bytes(&bytes)
     }
 
-    /// Size of the serialized runtime state in bytes (one `to_bytes` pass).
+    /// Size of the serialized runtime state in bytes, computed by a
+    /// counting pass — no allocation, no encode.
     pub fn serialized_len(&self) -> usize {
-        self.to_bytes().len()
+        let mut n = CountEnc::new();
+        self.enc_payload_prefix(&mut n);
+        self.enc_payload_suffix(&mut n);
+        let sections: usize = self.captures.iter().map(capture_section_len).sum();
+        IMAGE_HEADER_LEN + n.count() + sections
     }
+}
+
+/// Exact encoded size of one rank's capture section.
+fn capture_section_len(c: &RuntimeCapture) -> usize {
+    let mut n = CountEnc::new();
+    enc_capture(&mut n, c);
+    n.count()
+}
+
+fn encode_one_section(c: &RuntimeCapture, buf: &mut [u8]) {
+    let mut w = SliceEnc::new(buf);
+    enc_capture(&mut w, c);
+    w.finish();
+}
+
+/// Encodes each capture into its disjoint pre-sized window of `buf`,
+/// fanning contiguous batches of sections out across up to `workers`
+/// scoped threads.
+fn encode_capture_sections(
+    workers: usize,
+    captures: &[RuntimeCapture],
+    section_lens: &[usize],
+    buf: &mut [u8],
+) {
+    debug_assert_eq!(captures.len(), section_lens.len());
+    let mut sections: Vec<(usize, &mut [u8])> = Vec::with_capacity(captures.len());
+    let mut rest = buf;
+    for (i, &len) in section_lens.iter().enumerate() {
+        let (head, tail) = rest.split_at_mut(len);
+        sections.push((i, head));
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty(), "section lengths must cover the buffer");
+
+    let workers = workers.clamp(1, captures.len().max(1));
+    if workers <= 1 {
+        for (i, s) in sections {
+            encode_one_section(&captures[i], s);
+        }
+        return;
+    }
+    let chunk = sections.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut remaining = sections;
+        while !remaining.is_empty() {
+            let tail = remaining.split_off(chunk.min(remaining.len()));
+            let batch = std::mem::replace(&mut remaining, tail);
+            scope.spawn(move || {
+                for (i, s) in batch {
+                    encode_one_section(&captures[i], s);
+                }
+            });
+        }
+    });
 }
 
 // ----------------------------------------------------------------------
@@ -400,7 +525,7 @@ fn protocol_from_code(c: u8) -> Result<Protocol, ImageError> {
     }
 }
 
-fn enc_params(e: &mut Enc, p: &NetParams) {
+fn enc_params<W: Wr>(e: &mut W, p: &NetParams) {
     e.f64(p.alpha_intra);
     e.f64(p.alpha_inter);
     e.f64(p.beta_intra);
@@ -436,7 +561,7 @@ fn dec_vtime(d: &mut Dec, what: DecodeError) -> Result<VTime, ImageError> {
     Ok(VTime::from_secs(s))
 }
 
-fn enc_target_map(e: &mut Enc, m: &HashMap<Ggid, u64>) {
+fn enc_target_map<W: Wr>(e: &mut W, m: &HashMap<Ggid, u64>) {
     let mut entries: Vec<(u64, u64)> = m.iter().map(|(g, v)| (g.0, *v)).collect();
     entries.sort_unstable();
     e.usize(entries.len());
@@ -455,7 +580,7 @@ fn dec_target_map(d: &mut Dec, what: DecodeError) -> Result<HashMap<Ggid, u64>, 
     Ok(m)
 }
 
-fn enc_usize_list(e: &mut Enc, v: &[usize]) {
+fn enc_usize_list<W: Wr>(e: &mut W, v: &[usize]) {
     e.usize(v.len());
     for &x in v {
         e.usize(x);
@@ -471,7 +596,7 @@ fn dec_usize_list(d: &mut Dec, what: DecodeError) -> Result<Vec<usize>, ImageErr
     Ok(v)
 }
 
-fn enc_counters(e: &mut Enc, c: &CallCounters) {
+fn enc_counters<W: Wr>(e: &mut W, c: &CallCounters) {
     e.u64(c.coll_blocking);
     e.u64(c.coll_nonblocking);
     e.u64(c.p2p_sends);
@@ -497,7 +622,7 @@ fn dec_counters(d: &mut Dec) -> Result<CallCounters, ImageError> {
     })
 }
 
-fn enc_src(e: &mut Enc, s: SrcSel) {
+fn enc_src<W: Wr>(e: &mut W, s: SrcSel) {
     match s {
         SrcSel::Any => e.u8(0),
         SrcSel::Rank(r) => {
@@ -515,7 +640,7 @@ fn dec_src(d: &mut Dec) -> Result<SrcSel, ImageError> {
     }
 }
 
-fn enc_tag(e: &mut Enc, t: TagSel) {
+fn enc_tag<W: Wr>(e: &mut W, t: TagSel) {
     match t {
         TagSel::Any => e.u8(0),
         TagSel::Tag(v) => {
@@ -533,7 +658,7 @@ fn dec_tag(d: &mut Dec) -> Result<TagSel, ImageError> {
     }
 }
 
-fn enc_comm_op(e: &mut Enc, r: &CommOpRecord) {
+fn enc_comm_op<W: Wr>(e: &mut W, r: &CommOpRecord) {
     match &r.op {
         CommOp::Dup { parent } => {
             e.u8(0);
@@ -584,7 +709,7 @@ fn dec_comm_op(d: &mut Dec) -> Result<CommOpRecord, ImageError> {
     Ok(CommOpRecord { op, result })
 }
 
-fn enc_capture(e: &mut Enc, c: &RuntimeCapture) {
+fn enc_capture<W: Wr>(e: &mut W, c: &RuntimeCapture) {
     e.usize(c.rank);
     e.u8(c.state as u8);
     e.f64(c.clock.as_secs());
@@ -707,7 +832,7 @@ fn dec_capture(d: &mut Dec) -> Result<RuntimeCapture, ImageError> {
     })
 }
 
-fn enc_drained(e: &mut Enc, m: &DrainedMsg) {
+fn enc_drained<W: Wr>(e: &mut W, m: &DrainedMsg) {
     e.usize(m.saved.src_world);
     e.usize(m.saved.dst_world);
     e.u64(m.saved.vcomm);
@@ -731,7 +856,7 @@ fn dec_drained(d: &mut Dec) -> Result<DrainedMsg, ImageError> {
     })
 }
 
-fn enc_event(e: &mut Enc, ev: &ExecEvent) {
+fn enc_event<W: Wr>(e: &mut W, ev: &ExecEvent) {
     e.usize(ev.rank);
     e.u64(ev.node.ggid.0);
     e.u64(ev.node.seq);
@@ -894,6 +1019,39 @@ mod tests {
         // Deterministic: re-serializing the decoded image reproduces the
         // exact byte stream.
         assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn parallel_encode_is_byte_identical() {
+        let c = rich_ckpt();
+        let serial = c.to_bytes();
+        for workers in [1, 2, 8, 64] {
+            assert_eq!(c.to_bytes_parallel(workers), serial, "workers={workers}");
+        }
+        // The counting pass agrees with the encode pass.
+        assert_eq!(c.serialized_len(), serial.len());
+    }
+
+    #[test]
+    fn capture_section_ranges_tile_the_capture_block() {
+        let c = rich_ckpt();
+        let bytes = c.to_bytes();
+        let ranges = c.capture_section_ranges();
+        assert_eq!(ranges.len(), c.captures.len());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "sections must be contiguous");
+        }
+        assert!(ranges[0].start > IMAGE_HEADER_LEN);
+        assert!(ranges.last().unwrap().end < bytes.len());
+        // Mutating one rank's capture perturbs exactly that rank's section
+        // (plus the backpatched header checksum).
+        let mut c2 = c.clone();
+        c2.captures[1].p2p_sent += 1;
+        let bytes2 = c2.to_bytes();
+        assert_eq!(bytes2.len(), bytes.len());
+        assert_eq!(bytes[ranges[0].clone()], bytes2[ranges[0].clone()]);
+        assert_ne!(bytes[ranges[1].clone()], bytes2[ranges[1].clone()]);
+        assert_eq!(bytes[ranges[1].end..], bytes2[ranges[1].end..]);
     }
 
     #[test]

@@ -65,13 +65,27 @@
 //!   [`Checkpoint::to_bytes`] / [`Checkpoint::from_bytes`] /
 //!   [`Checkpoint::save_to`] / [`Checkpoint::load_from`], versioned and
 //!   checksummed ([`image::ImageError`] enumerates the rejections).
+//!   Serialization is **zero-copy and parallel**: the header is reserved
+//!   up front, each rank's capture section is encoded in place into a
+//!   pre-sized disjoint window of the final buffer
+//!   ([`Checkpoint::to_bytes_parallel`] fans the sections out across
+//!   worker threads), the FNV-1a checksum streams over the assembled
+//!   payload, and length+checksum are backpatched — the parallel encoder
+//!   is byte-for-byte identical to the serial one.
 //! * [`runner::run_ckpt_world`] — one thread per rank plus policy
 //!   supervision, returning every captured image for oracle verification
-//!   with [`mana_core::verify_safe_cut`].
+//!   with [`mana_core::verify_safe_cut`]. Its report also carries
+//!   `capture_wall_s`: host wall seconds per committed capture bracket,
+//!   which the coordinator runs **in parallel on the scheduler's borrowed
+//!   worker pool** ([`mpisim::Scheduler::borrow_workers`]) while every
+//!   rank is parked slotless at the quiesce.
 //! * [`restore::restore_ckpt_world`] — rebuilds a world from an image
 //!   (optionally re-packed via [`RestoreConfig`]), replays the program to
 //!   the cut, cross-checks the replayed state against the image, and
 //!   continues with the image authoritative.
+//!   [`restore::try_restore_ckpt_world`] surfaces pre-flight rejections
+//!   (a cut that fails the safe-cut oracle, a malformed image, a failed
+//!   thread spawn) as a typed [`RestoreError`] instead of panicking.
 //!
 //! ## Execution model: batched cooperative scheduling
 //!
@@ -127,6 +141,6 @@ pub use policy::{
     VirtualTimeSchedule,
 };
 pub use rank::CcRank;
-pub use restore::{restore_ckpt_world, RestoreConfig};
+pub use restore::{restore_ckpt_world, try_restore_ckpt_world, RestoreConfig, RestoreError};
 pub use runner::{run_ckpt_world, try_run_ckpt_world, CkptOptions, CkptRunReport};
 pub use session::Session;

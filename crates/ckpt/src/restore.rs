@@ -29,8 +29,8 @@ use crate::image::Checkpoint;
 use crate::rank::CcRank;
 use crate::runner::{run_session_threads, CkptRunReport};
 use crate::session::{RestorePlan, Session};
-use mana_core::{RankState, RuntimeCapture};
-use mpisim::WorldConfig;
+use mana_core::{RankState, RuntimeCapture, Violation};
+use mpisim::{SpawnError, WorldConfig};
 use netmodel::NetParams;
 use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Arc;
@@ -116,6 +116,55 @@ impl RestoreConfig {
     }
 }
 
+/// Why a restore was refused before any rank ran.
+///
+/// These are the *pre-flight* rejections of [`try_restore_ckpt_world`]:
+/// the image or the environment is unfit, and the caller can handle it —
+/// fall back to an older image, re-fetch the file, report and continue.
+/// (A replay that diverges from the image mid-restore still panics: at
+/// that point rank threads hold partially-restored state and there is no
+/// clean unwind.)
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// The image failed the independent safe-cut oracle (paper §4.2.2):
+    /// the cut it carries is not a consistent state, and restoring it
+    /// would resurrect a world that never existed. Carries the oracle's
+    /// violations.
+    UnsafeCut(Vec<Violation>),
+    /// The image is structurally unusable for restore; names the check
+    /// that failed. ([`Checkpoint::from_bytes`] rejects malformed *bytes*
+    /// already, so this only fires on images built or edited in memory.)
+    MalformedImage(&'static str),
+    /// A replay rank thread could not be spawned; no application code ran.
+    Spawn(SpawnError),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::UnsafeCut(v) => write!(
+                f,
+                "image failed the safe-cut oracle ({} violation{}); refusing to restore \
+                 an inconsistent cut",
+                v.len(),
+                if v.len() == 1 { "" } else { "s" }
+            ),
+            RestoreError::MalformedImage(what) => {
+                write!(f, "image unusable for restore: bad {what}")
+            }
+            RestoreError::Spawn(e) => write!(f, "restore launch failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<SpawnError> for RestoreError {
+    fn from(e: SpawnError) -> Self {
+        RestoreError::Spawn(e)
+    }
+}
+
 /// Restores `image` into a fresh world and runs it to completion.
 ///
 /// `f` must be the same program the image was captured from (byte-for-byte
@@ -126,22 +175,37 @@ impl RestoreConfig {
 /// [`Checkpoint::from_bytes`] rejects them by checksum.
 ///
 /// # Panics
-/// Panics if the image fails the safe-cut oracle, if the replay does not
-/// reach the captured cut within [`RestoreConfig::replay_timeout`], or if
-/// the replayed state disagrees with the image.
+/// Panics on any [`RestoreError`] — use [`try_restore_ckpt_world`] to
+/// handle an unsafe or unusable image instead — and if the replay does not
+/// reach the captured cut within [`RestoreConfig::replay_timeout`] or the
+/// replayed state disagrees with the image.
 pub fn restore_ckpt_world<R, F>(image: &Checkpoint, rcfg: RestoreConfig, f: F) -> CkptRunReport<R>
 where
     R: Send,
     F: Fn(&mut CcRank) -> R + Send + Sync,
 {
-    assert_eq!(
-        image.captures.len(),
-        image.n_ranks,
-        "image must carry one capture per rank"
-    );
-    image
-        .verify()
-        .expect("image failed the safe-cut oracle; refusing to restore an inconsistent cut");
+    try_restore_ckpt_world(image, rcfg, f).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`restore_ckpt_world`], with pre-flight rejections surfaced as a typed
+/// [`RestoreError`] instead of a panic. On an `Err` no application code
+/// has run: the safe-cut oracle and the image shape are checked before any
+/// rank thread is spawned.
+pub fn try_restore_ckpt_world<R, F>(
+    image: &Checkpoint,
+    rcfg: RestoreConfig,
+    f: F,
+) -> Result<CkptRunReport<R>, RestoreError>
+where
+    R: Send,
+    F: Fn(&mut CcRank) -> R + Send + Sync,
+{
+    if image.captures.len() != image.n_ranks {
+        return Err(RestoreError::MalformedImage("capture count vs n_ranks"));
+    }
+    if let Err(violations) = image.verify() {
+        return Err(RestoreError::UnsafeCut(violations));
+    }
 
     let replay_cfg = WorldConfig {
         n_ranks: image.n_ranks,
@@ -164,9 +228,9 @@ where
     let sup = Arc::clone(&sh);
     run_session_threads(sh, rcfg.stack_size, f, move || {
         drive_restore(&sup, image, &rcfg, restored_cfg);
-        (Vec::new(), Vec::new())
+        (Vec::new(), Vec::new(), Vec::new())
     })
-    .unwrap_or_else(|e| panic!("{e}"))
+    .map_err(RestoreError::from)
 }
 
 /// The restore driver: waits for the replay to park at the image's cut,

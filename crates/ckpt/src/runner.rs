@@ -141,6 +141,12 @@ pub struct CkptRunReport<R> {
     /// polling — invisible in functional results — shows up here long
     /// before it shows up as a sys-time blowup at scale.
     pub backstop_expiries: u64,
+    /// Host wall-clock seconds each committed checkpoint spent in the
+    /// coordinator's capture bracket (parallel per-rank state clone plus
+    /// the in-flight drain), aligned with [`CkptRunReport::checkpoints`].
+    /// Wall time, not virtual time — the benchmark's `capture_wall_s`
+    /// column. Empty for restored runs.
+    pub capture_wall_s: Vec<f64>,
 }
 
 impl<R> CkptRunReport<R> {
@@ -198,7 +204,10 @@ where
 /// Drives the trigger policy over a running session: polls the published
 /// progress, fires the coordinator on policy demand, stops once the policy
 /// is exhausted or every rank has finished.
-fn supervise_policy(sh: &Arc<Session>, opts: CkptOptions) -> (Vec<Checkpoint>, Vec<DrainError>) {
+fn supervise_policy(
+    sh: &Arc<Session>,
+    opts: CkptOptions,
+) -> (Vec<Checkpoint>, Vec<DrainError>, Vec<f64>) {
     let mut policy = opts.policy;
     let mut checkpoints = Vec::new();
     let mut failures = Vec::new();
@@ -223,7 +232,8 @@ fn supervise_policy(sh: &Arc<Session>, opts: CkptOptions) -> (Vec<Checkpoint>, V
             std::thread::sleep(Duration::from_micros(200));
         }
     }
-    (checkpoints, failures)
+    let capture_walls = coord.capture_wall_history();
+    (checkpoints, failures, capture_walls)
 }
 
 /// The shared scaffold of [`run_ckpt_world`] and
@@ -236,7 +246,7 @@ pub(crate) fn run_session_threads<R, F>(
     sh: Arc<Session>,
     stack_size: usize,
     f: F,
-    supervise: impl FnOnce() -> (Vec<Checkpoint>, Vec<DrainError>),
+    supervise: impl FnOnce() -> (Vec<Checkpoint>, Vec<DrainError>, Vec<f64>),
 ) -> Result<CkptRunReport<R>, SpawnError>
 where
     R: Send,
@@ -246,6 +256,7 @@ where
     let mut reports: Vec<Option<RankReport<R>>> = (0..n).map(|_| None).collect();
     let mut checkpoints = Vec::new();
     let mut failures = Vec::new();
+    let mut capture_wall_s = Vec::new();
     let mut spawn_err = None;
     let gate = Arc::new(LaunchGate::new());
     // The scheduler outlives every lower-half generation: grab it once
@@ -307,7 +318,7 @@ where
         if spawn_err.is_none() {
             // Supervision (triggers or restore driving) runs on the
             // calling thread.
-            (checkpoints, failures) = supervise();
+            (checkpoints, failures, capture_wall_s) = supervise();
         }
 
         for (rank, h) in handles.into_iter().enumerate() {
@@ -344,6 +355,7 @@ where
         trace: sh.trace.clone(),
         events: sh.exec_log.events(),
         backstop_expiries: sh.backstop_expiries(),
+        capture_wall_s,
     })
 }
 

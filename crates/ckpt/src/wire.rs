@@ -7,17 +7,104 @@
 //! written sorted by key so the same image always serializes to the same
 //! bytes; `Checkpoint` round-trip tests rely on that determinism.
 
-/// FNV-1a 64-bit digest — the image integrity checksum.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64-bit hasher.
+///
+/// FNV-1a is a strict byte chain (xor then multiply), so independent section
+/// digests cannot be combined after the fact — but the chain *can* be fed
+/// incrementally. The parallel image encoder uses this to checksum the
+/// assembled payload section by section, in place, instead of building a
+/// second contiguous copy just to hash it.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
     }
-    h
+
+    /// Feeds `bytes` into the chain.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Current digest. The hasher may keep being fed afterwards.
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
 }
 
-/// Append-only encoder.
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// FNV-1a 64-bit digest — the image integrity checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.digest()
+}
+
+/// A sink for wire-format writes.
+///
+/// Implementors provide [`Wr::raw`]; every scalar encoding is defined once in
+/// the provided methods, so the growable encoder ([`Enc`]), the fixed-slice
+/// encoder ([`SliceEnc`]) and the byte counter ([`CountEnc`]) are guaranteed
+/// to lay out bytes identically. That shared layout is what lets the parallel
+/// image encoder pre-size per-rank sections exactly and still emit output
+/// byte-for-byte equal to the serial path.
+pub trait Wr {
+    /// Writes raw bytes with no length prefix (header assembly only).
+    fn raw(&mut self, v: &[u8]);
+
+    /// Writes one byte.
+    fn u8(&mut self, v: u8) {
+        self.raw(&[v]);
+    }
+
+    /// Writes a `u32`, little-endian.
+    fn u32(&mut self, v: u32) {
+        self.raw(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    fn u64(&mut self, v: u64) {
+        self.raw(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64` (two's-complement bits, little-endian).
+    fn i64(&mut self, v: i64) {
+        self.raw(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as `u64`.
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern (exact round trip).
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a length-prefixed byte string.
+    fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.raw(v);
+    }
+}
+
+/// Append-only growable encoder.
 #[derive(Debug, Default)]
 pub struct Enc {
     buf: Vec<u8>,
@@ -43,46 +130,87 @@ impl Enc {
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
     }
+}
 
-    /// Writes one byte.
-    pub fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    /// Writes a `u32`, little-endian.
-    pub fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Writes a `u64`, little-endian.
-    pub fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Writes an `i64` (two's-complement bits, little-endian).
-    pub fn i64(&mut self, v: i64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Writes a `usize` as `u64`.
-    pub fn usize(&mut self, v: usize) {
-        self.u64(v as u64);
-    }
-
-    /// Writes an `f64` as its IEEE-754 bit pattern (exact round trip).
-    pub fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-
-    /// Writes a length-prefixed byte string.
-    pub fn bytes(&mut self, v: &[u8]) {
-        self.usize(v.len());
+impl Wr for Enc {
+    fn raw(&mut self, v: &[u8]) {
         self.buf.extend_from_slice(v);
     }
+}
 
-    /// Writes raw bytes with no length prefix (header assembly only).
-    pub fn raw(&mut self, v: &[u8]) {
-        self.buf.extend_from_slice(v);
+impl Wr for Vec<u8> {
+    fn raw(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+}
+
+/// Fixed-capacity encoder over a pre-sized mutable slice.
+///
+/// Per-rank image sections are encoded through this into disjoint
+/// `split_at_mut` windows of the final buffer, so worker threads write
+/// concurrently with no post-hoc copy.
+///
+/// # Panics
+/// Writing past the end of the slice panics: section sizes are computed by
+/// running the identical encode code through [`CountEnc`], so an overflow is
+/// an encoder bug, not an input error.
+#[derive(Debug)]
+pub struct SliceEnc<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> SliceEnc<'a> {
+    /// Encoder over `buf`, starting at offset 0.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        SliceEnc { buf, pos: 0 }
+    }
+
+    /// Bytes written so far.
+    pub fn written(&self) -> usize {
+        self.pos
+    }
+
+    /// Asserts the slice was filled exactly — every pre-sized byte written.
+    pub fn finish(self) {
+        assert_eq!(
+            self.pos,
+            self.buf.len(),
+            "SliceEnc under-filled its section"
+        );
+    }
+}
+
+impl Wr for SliceEnc<'_> {
+    fn raw(&mut self, v: &[u8]) {
+        let end = self.pos + v.len();
+        self.buf[self.pos..end].copy_from_slice(v);
+        self.pos = end;
+    }
+}
+
+/// Write sink that only counts bytes — used to pre-size section buffers by
+/// running the same encode code that will later fill them.
+#[derive(Debug, Default)]
+pub struct CountEnc {
+    n: usize,
+}
+
+impl CountEnc {
+    /// Zeroed counter.
+    pub fn new() -> Self {
+        CountEnc::default()
+    }
+
+    /// Bytes that would have been written.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+}
+
+impl Wr for CountEnc {
+    fn raw(&mut self, v: &[u8]) {
+        self.n += v.len();
     }
 }
 
@@ -217,5 +345,65 @@ mod tests {
     fn fnv_is_stable() {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+
+    #[test]
+    fn streaming_fnv_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Fnv1a::new();
+        for chunk in data.chunks(5) {
+            h.update(chunk);
+        }
+        assert_eq!(h.digest(), fnv1a64(data));
+    }
+
+    fn write_sample<W: Wr>(w: &mut W) {
+        w.u8(9);
+        w.u32(123_456);
+        w.u64(u64::MAX / 7);
+        w.i64(-7);
+        w.usize(42);
+        w.f64(-0.25);
+        w.bytes(b"abc");
+        w.raw(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn all_writers_lay_out_identical_bytes() {
+        let mut e = Enc::new();
+        write_sample(&mut e);
+        let reference = e.into_bytes();
+
+        let mut v: Vec<u8> = Vec::new();
+        write_sample(&mut v);
+        assert_eq!(v, reference);
+
+        let mut c = CountEnc::new();
+        write_sample(&mut c);
+        assert_eq!(c.count(), reference.len());
+
+        let mut buf = vec![0u8; reference.len()];
+        let mut s = SliceEnc::new(&mut buf);
+        write_sample(&mut s);
+        assert_eq!(s.written(), reference.len());
+        s.finish();
+        assert_eq!(buf, reference);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_enc_rejects_overflow() {
+        let mut buf = [0u8; 3];
+        let mut s = SliceEnc::new(&mut buf);
+        s.u32(1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_enc_rejects_underfill() {
+        let mut buf = [0u8; 8];
+        let mut s = SliceEnc::new(&mut buf);
+        s.u32(1);
+        s.finish();
     }
 }

@@ -248,6 +248,32 @@ impl Scheduler {
         out
     }
 
+    /// Borrows every currently-free run slot for a bounded out-of-band
+    /// task — the checkpoint coordinator's parallel capture/serialize
+    /// bracket.
+    ///
+    /// At a checkpoint quiesce every rank is parked slotless inside a
+    /// [`Scheduler::blocking`] section, so the whole pool is idle. The
+    /// coordinator claims it, runs `f` with the claimed slot count (at
+    /// least 1: the coordinator's own thread always counts as a worker),
+    /// and on return the claimed slots flow back through the normal FIFO
+    /// hand-off, so ranks that queued while the pool was borrowed wake in
+    /// order.
+    pub fn borrow_workers<T>(&self, f: impl FnOnce(usize) -> T) -> T {
+        let claimed = {
+            let mut st = self.state.lock();
+            std::mem::take(&mut st.free)
+        };
+        let out = f(claimed.max(1));
+        if claimed > 0 {
+            let mut st = self.state.lock();
+            for _ in 0..claimed {
+                self.release_locked(&mut st);
+            }
+        }
+        out
+    }
+
     /// Assigns a freed slot: directly to the queue head if anyone waits,
     /// back to the free pool otherwise.
     fn release_locked(&self, st: &mut SchedState) {
@@ -412,6 +438,50 @@ mod tests {
         // Slot was re-acquired exactly once.
         assert!(!s.yield_now(0));
         s.detach(0);
+    }
+
+    #[test]
+    fn borrow_workers_claims_idle_pool_and_returns_it() {
+        let s = Scheduler::new(4, 2);
+        // Pool fully idle (mirrors a checkpoint quiesce): both slots lent.
+        s.borrow_workers(|k| assert_eq!(k, 2));
+        // Slots came back: two ranks attach without blocking.
+        s.attach(0);
+        s.attach(1);
+        // One slot held by each rank, none free: the borrow still runs
+        // with at least the caller's own thread.
+        s.borrow_workers(|k| assert_eq!(k, 1));
+        s.detach(0);
+        s.detach(1);
+    }
+
+    #[test]
+    fn ranks_queued_during_borrow_wake_on_return() {
+        let s = Scheduler::new(2, 1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let s0 = Arc::clone(&s);
+        let g0 = Arc::clone(&gate);
+        let t = std::thread::spawn(move || {
+            // Wait until the borrow is in progress, then try to attach:
+            // the slot is lent out, so this queues until the return path
+            // releases it.
+            let (m, cv) = &*g0;
+            let mut started = m.lock();
+            while !*started {
+                cv.wait(&mut started);
+            }
+            drop(started);
+            s0.attach(0);
+            s0.detach(0);
+        });
+        s.borrow_workers(|k| {
+            assert_eq!(k, 1);
+            *gate.0.lock() = true;
+            gate.1.notify_all();
+            // Give the attacher time to queue behind the borrowed slot.
+            std::thread::sleep(Duration::from_millis(20));
+        });
+        t.join().unwrap();
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub struct LustreModel {
     /// Fixed coordination cost per checkpoint or restart (seconds): quiesce,
     /// barrier, coordinator round trips.
     pub fixed_overhead: f64,
+    /// Per-worker serialization bandwidth (bytes/sec): the rate at which one
+    /// encoder worker walks runtime state into write buffers. Encode is a
+    /// memory-bound pass, so it scales with the worker count — see
+    /// [`LustreModel::encode_time`].
+    pub encode_bw: f64,
 }
 
 impl LustreModel {
@@ -37,6 +42,7 @@ impl LustreModel {
             per_node_bw: 18e9,
             per_file_metadata: 1.5e-3,
             fixed_overhead: 1.0,
+            encode_bw: 4e9,
         }
     }
 
@@ -48,7 +54,17 @@ impl LustreModel {
             per_node_bw: 0.5e9,
             per_file_metadata: 5e-3,
             fixed_overhead: 0.5,
+            encode_bw: 1e9,
         }
+    }
+
+    /// Time (seconds) to serialize `total_bytes` of runtime state into
+    /// write buffers with `workers` encoder workers running in parallel.
+    /// Unlike the transfer path there is no shared-filesystem bottleneck:
+    /// encode is a local memory walk, so it divides across workers — the
+    /// parallel capture pipeline's cost model.
+    pub fn encode_time(&self, total_bytes: u64, workers: usize) -> f64 {
+        total_bytes as f64 / (self.encode_bw * workers.max(1) as f64)
     }
 
     /// Time (seconds) to write `files_per_node` images of `bytes_per_file`
@@ -155,5 +171,16 @@ mod tests {
     #[should_panic]
     fn zero_nodes_rejected() {
         LustreModel::perlmutter_scratch().write_time(0, 1, 1);
+    }
+
+    #[test]
+    fn encode_time_divides_across_workers() {
+        let m = LustreModel::perlmutter_scratch();
+        let one = m.encode_time(IMG, 1);
+        let four = m.encode_time(IMG, 4);
+        assert!(one > 0.0);
+        assert!((four - one / 4.0).abs() < 1e-12, "{four} vs {}", one / 4.0);
+        // workers = 0 is clamped, not a division blow-up.
+        assert_eq!(m.encode_time(IMG, 0), one);
     }
 }

@@ -8,8 +8,9 @@ use std::ops::{Add, AddAssign, Sub};
 
 /// A point in virtual time, in seconds since simulation start.
 ///
-/// `VTime` is a total order (NaN is forbidden; constructors debug-assert) so
-/// it can be used as `max()` targets in collective exit-time computation.
+/// `VTime` is a total order (`f64::total_cmp`; NaN and infinity are rejected
+/// at construction) so it can be used as `max()` targets in collective
+/// exit-time computation and as keys in ordered scheduler structures.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct VTime(f64);
 
@@ -20,10 +21,16 @@ impl VTime {
     /// Creates a virtual time from seconds.
     ///
     /// # Panics
-    /// Debug-panics if `secs` is NaN or negative.
+    /// Panics if `secs` is NaN, infinite, or negative — in release builds
+    /// too. A degenerate net-model division (0/0, x/0) must fail loudly at
+    /// the construction site, not surface later as an unordered comparison
+    /// deep inside a scheduler heap.
     #[inline]
     pub fn from_secs(secs: f64) -> Self {
-        debug_assert!(secs.is_finite() && secs >= 0.0, "bad VTime {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "VTime must be finite and non-negative, got {secs}"
+        );
         VTime(secs)
     }
 
@@ -97,8 +104,9 @@ impl PartialOrd for VTime {
 impl Ord for VTime {
     #[inline]
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // NaN is excluded by construction, so total order is safe.
-        self.0.partial_cmp(&other.0).expect("VTime is never NaN")
+        // `total_cmp` is a total order on all f64 bit patterns, so this
+        // cannot panic even if a NaN ever slipped past construction.
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -114,7 +122,11 @@ impl AddAssign<f64> for VTime {
     #[inline]
     fn add_assign(&mut self, rhs: f64) {
         self.0 += rhs;
-        debug_assert!(self.0.is_finite() && self.0 >= 0.0);
+        assert!(
+            self.0.is_finite() && self.0 >= 0.0,
+            "VTime must stay finite and non-negative, got {}",
+            self.0
+        );
     }
 }
 
@@ -182,6 +194,26 @@ mod tests {
         let ts = [1.0, 3.0, 2.0].map(VTime::from_secs);
         assert_eq!(VTime::max_of(ts), VTime::from_secs(3.0));
         assert_eq!(VTime::max_of([]), VTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected_at_construction() {
+        let _ = VTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinity_rejected_at_construction() {
+        // The kind of value a degenerate bandwidth division produces.
+        let _ = VTime::from_secs(1.0 / 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected_by_add_assign() {
+        let mut t = VTime::from_secs(1.0);
+        t += f64::NAN;
     }
 
     #[test]

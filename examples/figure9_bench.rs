@@ -1,8 +1,10 @@
 //! The Figure 9 bench: checkpoint/restart image I/O vs. node count through
 //! the Lustre model (1–16 nodes × three per-rank image sizes at 128 ranks
 //! per node), plus real captured images serialized through the wire format
-//! at small world sizes. Writes `BENCH_figure9.json` into the current
-//! directory, next to the protocol bench's `BENCH_protocols.json`.
+//! at small world sizes, plus the capture-pipeline sweep (`capture_wall_s`:
+//! parallel zero-copy encode wall time over synthetic images at 512–4096
+//! ranks, asserted flat per rank). Writes `BENCH_figure9.json` into the
+//! current directory, next to the protocol bench's `BENCH_protocols.json`.
 //!
 //! ```sh
 //! cargo run --release --example figure9_bench
@@ -30,13 +32,28 @@ fn main() {
     }
     println!();
     println!(
-        "{:<6} {:>18} {:>16} {:>12}",
-        "ranks", "image bytes", "in-flight B", "cut events"
+        "{:<6} {:>18} {:>16} {:>12} {:>16}",
+        "ranks", "image bytes", "in-flight B", "cut events", "capture wall(s)"
     );
     for m in &report.measured {
         println!(
-            "{:<6} {:>18} {:>16} {:>12}",
-            m.ranks, m.serialized_bytes, m.in_flight_bytes, m.cut_events
+            "{:<6} {:>18} {:>16} {:>12} {:>16.6}",
+            m.ranks, m.serialized_bytes, m.in_flight_bytes, m.cut_events, m.capture_wall_s
+        );
+    }
+    println!();
+    println!(
+        "{:<6} {:>8} {:>14} {:>18} {:>20}",
+        "ranks", "workers", "image bytes", "capture wall(s)", "per-rank wall(us)"
+    );
+    for p in &report.capture {
+        println!(
+            "{:<6} {:>8} {:>14} {:>18.6} {:>20.3}",
+            p.ranks,
+            p.workers,
+            p.serialized_bytes,
+            p.capture_wall_s,
+            p.per_rank_capture_wall_s() * 1e6,
         );
     }
 
@@ -58,6 +75,10 @@ fn main() {
         !report.measured.is_empty(),
         "no measured image was captured"
     );
+    // The capture-pipeline shape: per-rank encode wall time stays flat
+    // (within 2×) from 512 to 4096 ranks — rank count must not buy the
+    // parallel zero-copy encoder superlinear time.
+    bench::assert_figure9_capture_shape(&report.capture);
 
     let json = figure9_to_json(&report);
     std::fs::write("BENCH_figure9.json", &json).expect("write BENCH_figure9.json");
