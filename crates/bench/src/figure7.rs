@@ -29,7 +29,7 @@
 //!   approaches.
 
 use crate::BenchWorkload;
-use ckpt::{run_ckpt_world, CkptOptions, ResumeMode, VirtualTimeSchedule};
+use ckpt::{run_ckpt_world, run_ckpt_world_steps, CkptOptions, ResumeMode, VirtualTimeSchedule};
 use mana_core::Protocol;
 use mpisim::{NetParams, VTime, WorldConfig};
 
@@ -45,6 +45,21 @@ pub struct Figure7Config {
     /// Checkpoints per run (drain-latency samples), spread evenly over the
     /// native makespan.
     pub checkpoints: usize,
+    /// Workloads to sweep (the full matrix by default; the huge tier
+    /// narrows this to keep a cell's wall time bounded).
+    pub workloads: Vec<BenchWorkload>,
+    /// Run rank bodies as heap step objects on the step driver instead of
+    /// one thread per rank. Identical virtual timing (the representation
+    /// is invisible to the model); required above the OS thread ceiling
+    /// (~16 Ki ranks) and the only representation that reaches 65 536.
+    /// Step cells also measure per-rank resident memory
+    /// ([`Figure7Record::rank_mem_bytes`]).
+    pub step_bodies: bool,
+    /// Wall pace (µs per compute call) of the checkpointed run, so the
+    /// asynchronous trigger cannot race a wall-fast run. Huge worlds set
+    /// 0: at ≥ 16 Ki ranks the run is wall-slow without help, and even a
+    /// light pace multiplied by the rank count dominates the cell.
+    pub pace_us: u64,
 }
 
 impl Default for Figure7Config {
@@ -54,6 +69,9 @@ impl Default for Figure7Config {
             ranks_per_node: 128,
             iters: 60,
             checkpoints: 6,
+            workloads: BenchWorkload::ALL.to_vec(),
+            step_bodies: false,
+            pace_us: 25,
         }
     }
 }
@@ -81,6 +99,25 @@ impl Figure7Config {
             ..Figure7Config::default()
         }
     }
+
+    /// The step-representation sweep ({16 384, 65 536} ranks): past the
+    /// thread-per-rank ceiling entirely, runnable only because a parked
+    /// rank is a heap object. Narrowed to the SCF workload (the dense
+    /// synchronizing-collective cell, the paper's hardest case for a
+    /// drain) and fewer iterations so the 65 536-rank cell stays tens of
+    /// minutes; unpaced — these worlds are wall-slow without help.
+    /// Release builds only.
+    pub fn huge_scale() -> Self {
+        Figure7Config {
+            ranks: vec![16_384, 65_536],
+            iters: 6,
+            checkpoints: 3,
+            workloads: vec![BenchWorkload::Scf],
+            step_bodies: true,
+            pace_us: 0,
+            ..Figure7Config::default()
+        }
+    }
 }
 
 /// One measured cell of the Figure 7 matrix.
@@ -98,6 +135,12 @@ pub struct Figure7Record {
     pub coll_interval_s: f64,
     /// Virtual drain latency of every checkpoint taken, in run order.
     pub drain_latency_s: Vec<f64>,
+    /// Resident memory per rank (bytes): host RSS growth across the
+    /// step-object build phase divided by the rank count, from the
+    /// checkpointed run. `None` for thread-per-rank cells (a thread's
+    /// cost is mostly its lazily-faulted stack, which a build-phase
+    /// delta cannot attribute) and on non-Linux hosts.
+    pub rank_mem_bytes: Option<u64>,
 }
 
 impl Figure7Record {
@@ -204,14 +247,24 @@ fn world_cfg(cfg: &Figure7Config, n: usize) -> WorldConfig {
 
 /// Runs one (workload, ranks) cell: a native timing run to place the
 /// checkpoint schedule, then a CC run capturing `cfg.checkpoints`
-/// checkpoints.
+/// checkpoints. With `cfg.step_bodies` both runs execute rank bodies as
+/// heap step objects — same virtual trajectory, but a 65 536-rank world
+/// fits on one host and the cell measures per-rank resident memory.
 pub fn figure7_cell(cfg: &Figure7Config, workload: BenchWorkload, n: usize) -> Figure7Record {
     let iters = cfg.iters;
-    let native = run_ckpt_world(
-        world_cfg(cfg, n),
-        CkptOptions::native().with_protocol(Protocol::Native),
-        |r| workload.run_iters(iters, r),
-    );
+    let native = if cfg.step_bodies {
+        run_ckpt_world_steps(
+            world_cfg(cfg, n),
+            CkptOptions::native().with_protocol(Protocol::Native),
+            |_rank| workload.step_body(iters),
+        )
+    } else {
+        run_ckpt_world(
+            world_cfg(cfg, n),
+            CkptOptions::native().with_protocol(Protocol::Native),
+            |r| workload.run_iters(iters, r),
+        )
+    };
     let native_s = native.makespan.as_secs();
 
     // Spread the checkpoints over the middle band of the run: the centers
@@ -220,23 +273,27 @@ pub fn figure7_cell(cfg: &Figure7Config, workload: BenchWorkload, n: usize) -> F
     // ranks the wall window between a late virtual threshold and the end
     // of the run can be shorter than the trigger supervisor's reaction
     // time, and a checkpoint that races completion never fires. A light
-    // wall pace additionally keeps the asynchronous trigger from racing a
-    // wall-fast run; it sleeps slotless and leaves virtual time
-    // untouched.
+    // wall pace (`cfg.pace_us`) additionally keeps the asynchronous
+    // trigger from racing a wall-fast run; it sleeps slotless and leaves
+    // virtual time untouched.
     let k = cfg.checkpoints.max(1);
     let times =
         (1..=k).map(|i| VTime::from_secs(native_s * (0.15 + 0.6 * (i as f64 - 0.5) / k as f64)));
-    let run = run_ckpt_world(
-        world_cfg(cfg, n),
-        CkptOptions::default()
-            .with_protocol(Protocol::Cc)
-            .with_policy(VirtualTimeSchedule::new(times))
-            .with_resume(ResumeMode::Continue),
-        |r| {
-            r.set_wall_pace_us(25);
+    let opts = CkptOptions::default()
+        .with_protocol(Protocol::Cc)
+        .with_policy(VirtualTimeSchedule::new(times))
+        .with_resume(ResumeMode::Continue);
+    let pace = cfg.pace_us;
+    let run = if cfg.step_bodies {
+        run_ckpt_world_steps(world_cfg(cfg, n), opts, |_rank| {
+            workload.step_body(iters).with_pace_us(pace)
+        })
+    } else {
+        run_ckpt_world(world_cfg(cfg, n), opts, |r| {
+            r.set_wall_pace_us(pace);
             workload.run_iters(iters, r)
-        },
-    );
+        })
+    };
     assert!(
         run.failures.is_empty(),
         "figure7 cell ({}, {n}) aborted a checkpoint: {:?}",
@@ -267,13 +324,14 @@ pub fn figure7_cell(cfg: &Figure7Config, workload: BenchWorkload, n: usize) -> F
             .iter()
             .map(ckpt::Checkpoint::drain_latency_secs)
             .collect(),
+        rank_mem_bytes: run.rank_build_rss_bytes,
     }
 }
 
 /// The full sweep: workloads × world sizes.
 pub fn figure7_report(cfg: &Figure7Config) -> Vec<Figure7Record> {
     let mut out = Vec::new();
-    for workload in BenchWorkload::ALL {
+    for &workload in &cfg.workloads {
         for &n in &cfg.ranks {
             out.push(figure7_cell(cfg, workload, n));
         }
@@ -409,7 +467,7 @@ pub fn figure7_to_json(records: &[Figure7Record]) -> String {
             concat!(
                 "    {{\"workload\":\"{}\",\"ranks\":{},\"coll_rate_hz\":{},",
                 "\"coll_interval_s\":{},\"drain_latency_s\":[{}],",
-                "\"p50_s\":{},\"p90_s\":{},\"p99_s\":{}}}"
+                "\"p50_s\":{},\"p90_s\":{},\"p99_s\":{},\"rank_mem_bytes\":{}}}"
             ),
             r.workload,
             r.ranks,
@@ -419,6 +477,8 @@ pub fn figure7_to_json(records: &[Figure7Record]) -> String {
             f(r.latency_percentile_s(0.5)),
             f(r.latency_percentile_s(0.9)),
             f(r.latency_percentile_s(0.99)),
+            r.rank_mem_bytes
+                .map_or_else(|| "null".to_string(), |b| b.to_string()),
         ));
     }
     let mut cdf_rows = Vec::new();
@@ -455,6 +515,7 @@ mod tests {
             coll_rate_hz: 1000.0,
             coll_interval_s: 1e-3,
             drain_latency_s: vec![0.5e-3, 0.7e-3],
+            rank_mem_bytes: Some(4096),
         };
         let s = figure7_to_json(&[rec]);
         assert!(s.contains("\"cells\""));
@@ -477,6 +538,7 @@ mod tests {
             coll_rate_hz: rate,
             coll_interval_s: 1.0 / rate,
             drain_latency_s: lats,
+            rank_mem_bytes: None,
         };
         let records = vec![
             cell(150.0, vec![0.03, 0.01]),      // decade 2
@@ -511,6 +573,7 @@ mod tests {
             coll_rate_hz: 100.0,
             coll_interval_s: 0.01,
             drain_latency_s: vec![0.02, 0.05],
+            rank_mem_bytes: None,
         };
         assert_eq!(rec.max_latency_s(), 0.05);
         assert!((rec.max_latency_intervals() - 5.0).abs() < 1e-12);
@@ -525,6 +588,7 @@ mod tests {
             coll_interval_s: 0.01,
             // Unsorted on purpose: percentile sorts a copy.
             drain_latency_s: vec![0.05, 0.01, 0.04, 0.02, 0.03],
+            rank_mem_bytes: None,
         };
         assert_eq!(rec.latency_percentile_s(0.5), 0.03);
         assert_eq!(rec.latency_percentile_s(0.9), 0.05);

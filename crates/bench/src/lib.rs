@@ -13,11 +13,14 @@
 //! the virtual drain latency per checkpoint and the modelled Lustre image
 //! write time.
 
-use ckpt::{run_ckpt_world, CcRank, CkptOptions, ResumeMode, StorageSpec, VirtualTimeSchedule};
+use ckpt::{
+    run_ckpt_world, BodyStep, CcRank, CkptOptions, ResumeMode, StepBody, StepRank, StorageSpec,
+    VirtualTimeSchedule,
+};
 use mana_core::Protocol;
 use mpisim::{NetParams, VTime, WorldConfig};
 use netmodel::LustreModel;
-use workloads::{bcast_pipeline, halo_exchange, scf_loop};
+use workloads::{bcast_pipeline, halo_exchange, scf_loop, BcastPipelineStep, HaloStep, ScfStep};
 
 pub mod figure7;
 pub mod figure9;
@@ -69,6 +72,60 @@ impl BenchWorkload {
             BenchWorkload::Scf => scf_loop(rank, iters, 8),
             BenchWorkload::Halo => halo_exchange(rank, iters, 8),
             BenchWorkload::BcastPipeline => bcast_pipeline(rank, iters, 256),
+        }
+    }
+
+    /// The same program as [`BenchWorkload::run_iters`] in its step-object
+    /// form (same iteration/size parameters, so a step cell is
+    /// call-for-call comparable to a closure cell).
+    pub fn step_body(self, iters: usize) -> BenchStepBody {
+        let inner = match self {
+            BenchWorkload::Scf => BenchStepKind::Scf(ScfStep::new(iters, 8)),
+            BenchWorkload::Halo => BenchStepKind::Halo(HaloStep::new(iters, 8)),
+            BenchWorkload::BcastPipeline => {
+                BenchStepKind::BcastPipeline(BcastPipelineStep::new(iters, 256))
+            }
+        };
+        BenchStepBody {
+            pace_us: None,
+            inner,
+        }
+    }
+}
+
+enum BenchStepKind {
+    Scf(ScfStep),
+    Halo(HaloStep),
+    BcastPipeline(BcastPipelineStep),
+}
+
+/// A bench workload as a heap step object, optionally wall-paced (the
+/// pace is applied once, before the first body step, exactly where the
+/// closure cells call `set_wall_pace_us`; virtual time is unaffected).
+pub struct BenchStepBody {
+    pace_us: Option<u64>,
+    inner: BenchStepKind,
+}
+
+impl BenchStepBody {
+    /// Adds a per-compute wall pace (µs), applied before the first step.
+    pub fn with_pace_us(mut self, us: u64) -> Self {
+        self.pace_us = Some(us);
+        self
+    }
+}
+
+impl StepBody for BenchStepBody {
+    type Out = f64;
+
+    fn step(&mut self, r: &mut StepRank) -> BodyStep<f64> {
+        if let Some(us) = self.pace_us.take() {
+            r.set_wall_pace_us(us);
+        }
+        match &mut self.inner {
+            BenchStepKind::Scf(b) => b.step(r),
+            BenchStepKind::Halo(b) => b.step(r),
+            BenchStepKind::BcastPipeline(b) => b.step(r),
         }
     }
 }

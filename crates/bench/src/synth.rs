@@ -130,7 +130,8 @@ fn synth_capture(n_ranks: usize, i: usize, rng: &mut SplitMix64) -> RuntimeCaptu
                 pair.clone()
             } else {
                 neighbors.clone()
-            },
+            }
+            .into(),
         );
     }
 

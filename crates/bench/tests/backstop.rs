@@ -10,10 +10,10 @@
 //! wakeups stays at zero, because every wake arrives from the event that
 //! was being waited on.
 
-use ckpt::{run_ckpt_world, CkptOptions, ResumeMode};
+use ckpt::{run_ckpt_world, run_ckpt_world_steps, CkptOptions, ResumeMode};
 use mana_core::Protocol;
 use mpisim::{NetParams, VTime, WorldConfig};
-use workloads::{random_workload, RandomWorkloadCfg};
+use workloads::{random_workload, RandomWorkloadCfg, RandomWorkloadStep};
 
 fn cfg(n: usize) -> WorldConfig {
     WorldConfig::single_node(n).with_params(NetParams::slingshot11().without_jitter())
@@ -81,6 +81,103 @@ fn two_phase_runs_pay_no_backstop_expiries() {
             expiries, 0,
             "seed {seed} ({mode:?}, 2PC): a backstop timeout fired — some \
              wait regressed from event-driven to timed polling"
+        );
+    }
+}
+
+/// [`expiries_of`] with rank bodies as heap step objects on the step
+/// driver: the parks it must keep event-driven are the driver's own
+/// worker waits plus every `Pending` yield-point in the step engine. The
+/// driver's 1 s rescue sweep counts into the same expiry counter, so a
+/// step-engine wait that loses its wakeup (and survives only via the
+/// sweep) fails these assertions.
+fn expiries_of_steps(seed: u64, mode: ResumeMode, protocol: Protocol, n: usize) -> u64 {
+    let mut wl = RandomWorkloadCfg::new(seed, 25);
+    if protocol == Protocol::TwoPhase {
+        wl = wl.with_blocking_only();
+    }
+    let timing = wl.clone();
+    let native = run_ckpt_world_steps(
+        cfg(n),
+        CkptOptions::native().with_protocol(protocol),
+        move |_rank| RandomWorkloadStep::new(timing.clone()),
+    );
+    let at = VTime::from_secs(native.makespan.as_secs() * 0.4);
+    let paced = wl.with_pace_us(20);
+    let run = run_ckpt_world_steps(
+        cfg(n),
+        CkptOptions::one_checkpoint(at, mode).with_protocol(protocol),
+        move |_rank| RandomWorkloadStep::new(paced.clone()),
+    );
+    assert_eq!(
+        run.checkpoints.len(),
+        1,
+        "seed {seed}: the checkpoint must fire for the run to exercise \
+         the step driver's drain/quiesce/resume wait paths"
+    );
+    assert!(run.failures.is_empty(), "seed {seed}: {:?}", run.failures);
+    run.backstop_expiries
+}
+
+/// The step-driver steady state: CC checkpoint + restart and + continue
+/// runs on heap step objects complete without one backstop expiry.
+#[test]
+fn step_driver_checkpointed_runs_pay_no_backstop_expiries() {
+    for seed in 0..4 {
+        let mode = if seed % 2 == 0 {
+            ResumeMode::Restart
+        } else {
+            ResumeMode::Continue
+        };
+        let expiries = expiries_of_steps(seed, mode, Protocol::Cc, 8);
+        assert_eq!(
+            expiries, 0,
+            "seed {seed} ({mode:?}, step driver): a backstop timeout fired \
+             — some wait regressed from event-driven to timed polling"
+        );
+    }
+}
+
+/// Same property under 2PC on the step driver (trivial-barrier parks run
+/// through the step engine's 2PC gate machine).
+#[test]
+fn step_driver_two_phase_runs_pay_no_backstop_expiries() {
+    for seed in 0..2 {
+        let mode = if seed % 2 == 0 {
+            ResumeMode::Restart
+        } else {
+            ResumeMode::Continue
+        };
+        let expiries = expiries_of_steps(seed, mode, Protocol::TwoPhase, 8);
+        assert_eq!(
+            expiries, 0,
+            "seed {seed} ({mode:?}, 2PC, step driver): a backstop timeout \
+             fired — some wait regressed from event-driven to timed polling"
+        );
+    }
+}
+
+/// The 1024-rank step-mode sweep: CC and 2PC, checkpoint/restart and
+/// checkpoint/continue, all backstop-free. This is the scale where a
+/// timed-poll regression turns into host saturation (1024 parked ranks
+/// re-checking), so the zero-expiry property is pinned exactly here.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "large-scale tier is release-only: cargo test --release -p bench -- large_scale"
+)]
+fn large_scale_step_driver_1024_rank_runs_pay_no_backstop_expiries() {
+    for (protocol, seed, mode) in [
+        (Protocol::Cc, 1, ResumeMode::Continue),
+        (Protocol::Cc, 2, ResumeMode::Restart),
+        (Protocol::TwoPhase, 3, ResumeMode::Continue),
+        (Protocol::TwoPhase, 4, ResumeMode::Restart),
+    ] {
+        let expiries = expiries_of_steps(seed, mode, protocol, 1024);
+        assert_eq!(
+            expiries, 0,
+            "seed {seed} ({mode:?}, {protocol:?}, 1024-rank step driver): \
+             a backstop timeout fired"
         );
     }
 }

@@ -11,6 +11,10 @@
 use mana_core::{CkptControl, Ggid};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Recorded raise origins: `ggid -> (target, member world ranks)`.
+pub type RaiseMap = HashMap<Ggid, (u64, Arc<[usize]>)>;
 
 /// One target-update message: raise `TARGET[ggid]` to at least `target`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,8 +29,10 @@ pub struct TargetUpdate {
 pub struct UpdateBus {
     inboxes: Vec<Mutex<VecDeque<TargetUpdate>>>,
     /// Global max of every raise origin: `(target, member world ranks)` per
-    /// group. The coordinator folds this into the final targets.
-    raised: Mutex<HashMap<Ggid, (u64, Vec<usize>)>>,
+    /// group. The coordinator folds this into the final targets. Member
+    /// lists are shared handles into the raising rank's `SeqTable`, not
+    /// copies.
+    raised: Mutex<RaiseMap>,
 }
 
 impl UpdateBus {
@@ -66,14 +72,14 @@ impl UpdateBus {
 
     /// Records a raise origin (overshoot path) for the coordinator's
     /// final-target computation.
-    pub fn record_raise(&self, ggid: Ggid, target: u64, members: Vec<usize>) {
+    pub fn record_raise(&self, ggid: Ggid, target: u64, members: impl Into<Arc<[usize]>>) {
         let mut r = self.raised.lock();
-        let e = r.entry(ggid).or_insert((0, members));
+        let e = r.entry(ggid).or_insert_with(|| (0, members.into()));
         e.0 = e.0.max(target);
     }
 
     /// Snapshot of all raises so far: `ggid -> (target, members)`.
-    pub fn raises(&self) -> HashMap<Ggid, (u64, Vec<usize>)> {
+    pub fn raises(&self) -> RaiseMap {
         self.raised.lock().clone()
     }
 

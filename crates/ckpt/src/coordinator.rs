@@ -241,11 +241,13 @@ impl Coordinator {
             let initial = control.compute_and_install_targets();
             // Group membership for the drain-completion check, from the
             // same snapshot the targets came from.
-            let mut members_of: HashMap<Ggid, Vec<usize>> = HashMap::new();
+            let mut members_of: HashMap<Ggid, Arc<[usize]>> = HashMap::new();
             for rc in &control.ranks {
                 let t = rc.seq_mirror.lock();
                 for (g, e) in t.iter() {
-                    members_of.entry(*g).or_insert_with(|| e.members.clone());
+                    members_of
+                        .entry(*g)
+                        .or_insert_with(|| Arc::clone(&e.members));
                 }
             }
 
@@ -641,14 +643,14 @@ impl Coordinator {
     fn drain_complete(
         &self,
         finals: &HashMap<Ggid, u64>,
-        members_of: &HashMap<Ggid, Vec<usize>>,
+        members_of: &HashMap<Ggid, Arc<[usize]>>,
     ) -> bool {
         let control = &self.sh.control;
         for (g, &t) in finals {
             if t == 0 {
                 continue;
             }
-            for &r in members_of.get(g).map(Vec::as_slice).unwrap_or(&[]) {
+            for &r in members_of.get(g).map(|m| &m[..]).unwrap_or(&[]) {
                 let rc = &control.ranks[r];
                 if rc.state() == RankState::Finished {
                     continue;

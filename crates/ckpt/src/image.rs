@@ -22,6 +22,7 @@ use mpisim::{SavedMsg, SrcSel, TagSel, VTime};
 use netmodel::NetParams;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Magic bytes opening every serialized image.
 pub const IMAGE_MAGIC: [u8; 8] = *b"MANACKPT";
@@ -29,7 +30,12 @@ pub const IMAGE_MAGIC: [u8; 8] = *b"MANACKPT";
 /// Current image wire-format version. Version 2 added the per-generation
 /// p2p flow counts (`p2p_sent`/`p2p_delivered`) to every rank capture —
 /// the drain-accounting evidence the coordinator cross-checks at capture.
-pub const IMAGE_VERSION: u32 = 2;
+/// Version 3 compacted group member lists to a tagged form: a contiguous
+/// ascending run (the world group, every identity subrange) is written as
+/// `(start, len)` instead of one word per member, which keeps image size
+/// O(ranks) instead of O(ranks²) — at 65 536 ranks the explicit form
+/// would cost ~0.5 MiB *per rank* for the world list alone.
+pub const IMAGE_VERSION: u32 = 3;
 
 /// Byte offset of the header's `u32` format-version word.
 pub const IMAGE_VERSION_OFFSET: usize = IMAGE_MAGIC.len();
@@ -367,9 +373,10 @@ impl Checkpoint {
         if n_caps != n_ranks {
             return Err(ImageError::Malformed("capture count vs n_ranks"));
         }
+        let mut intern = MemberIntern::default();
         let mut captures = Vec::with_capacity(n_caps);
         for _ in 0..n_caps {
-            captures.push(dec_capture(&mut d)?);
+            captures.push(dec_capture(&mut d, &mut intern)?);
         }
         let n_msgs = d.seq_len("in-flight count")?;
         let mut in_flight = Vec::with_capacity(n_msgs);
@@ -379,7 +386,7 @@ impl Checkpoint {
         let n_events = d.seq_len("cut-event count")?;
         let mut cut_events = Vec::with_capacity(n_events);
         for _ in 0..n_events {
-            cut_events.push(dec_event(&mut d)?);
+            cut_events.push(dec_event(&mut d, &mut intern)?);
         }
         let io_write_secs = d.f64("io_write_secs")?;
         let io_read_secs = d.f64("io_read_secs")?;
@@ -596,6 +603,66 @@ fn dec_usize_list(d: &mut Dec, what: DecodeError) -> Result<Vec<usize>, ImageErr
     Ok(v)
 }
 
+/// Upper bound on the length of a range-form member list. The explicit
+/// form is implicitly bounded by the buffer (one word per member), but a
+/// range is two words regardless of length — without a cap, a corrupted
+/// image could demand an arbitrarily large allocation before any member
+/// is validated. 2^24 ranks is two orders of magnitude past the largest
+/// supported world.
+const MAX_RANGE_MEMBERS: usize = 1 << 24;
+
+/// Group member lists, version-3 compact form: tag `1` is a contiguous
+/// ascending run `(start, len)`, tag `0` falls back to the explicit list.
+/// Order matters (member lists are in group order), so only an exactly
+/// ascending run may take the range form.
+fn enc_members<W: Wr>(e: &mut W, v: &[usize]) {
+    let contiguous = !v.is_empty() && v.windows(2).all(|w| w[1] == w[0].wrapping_add(1));
+    if contiguous {
+        e.u8(1);
+        e.usize(v[0]);
+        e.usize(v.len());
+    } else {
+        e.u8(0);
+        enc_usize_list(e, v);
+    }
+}
+
+/// Interning table for decoded member lists: every capture section that
+/// references the same `(start, len)` range — all 65 536 ranks name the
+/// world group — shares one allocation, keeping decode memory
+/// O(ranks + members) like the live runtime's `Arc<[usize]>` sharing.
+#[derive(Default)]
+struct MemberIntern(HashMap<(usize, usize), Arc<[usize]>>);
+
+impl MemberIntern {
+    fn range(&mut self, start: usize, len: usize) -> Arc<[usize]> {
+        Arc::clone(
+            self.0
+                .entry((start, len))
+                .or_insert_with(|| (start..start + len).collect()),
+        )
+    }
+}
+
+fn dec_members(
+    d: &mut Dec,
+    intern: &mut MemberIntern,
+    what: DecodeError,
+) -> Result<Arc<[usize]>, ImageError> {
+    match d.u8(what)? {
+        0 => Ok(dec_usize_list(d, what)?.into()),
+        1 => {
+            let start = d.usize(what)?;
+            let len = d.usize(what)?;
+            if len > MAX_RANGE_MEMBERS || start.checked_add(len).is_none() {
+                return Err(ImageError::Malformed(what));
+            }
+            Ok(intern.range(start, len))
+        }
+        _ => Err(ImageError::Malformed(what)),
+    }
+}
+
 fn enc_counters<W: Wr>(e: &mut W, c: &CallCounters) {
     e.u64(c.coll_blocking);
     e.u64(c.coll_nonblocking);
@@ -716,14 +783,14 @@ fn enc_capture<W: Wr>(e: &mut W, c: &RuntimeCapture) {
     let mut seq: Vec<(u64, u64, &[usize])> = c
         .seq_table
         .iter()
-        .map(|(g, entry)| (g.0, entry.seq, entry.members.as_slice()))
+        .map(|(g, entry)| (g.0, entry.seq, &*entry.members))
         .collect();
     seq.sort_unstable_by_key(|&(g, ..)| g);
     e.usize(seq.len());
     for (g, s, members) in seq {
         e.u64(g);
         e.u64(s);
-        enc_usize_list(e, members);
+        enc_members(e, members);
     }
     e.usize(c.comm_log.len());
     for r in &c.comm_log {
@@ -754,17 +821,17 @@ fn enc_capture<W: Wr>(e: &mut W, c: &RuntimeCapture) {
         e.u64(v);
         e.u64(id);
     }
-    let mut members: Vec<(u64, &Vec<usize>)> =
-        c.vcomm_members.iter().map(|(v, m)| (*v, m)).collect();
+    let mut members: Vec<(u64, &[usize])> =
+        c.vcomm_members.iter().map(|(v, m)| (*v, &m[..])).collect();
     members.sort_unstable_by_key(|&(v, _)| v);
     e.usize(members.len());
     for (v, m) in members {
         e.u64(v);
-        enc_usize_list(e, m);
+        enc_members(e, m);
     }
 }
 
-fn dec_capture(d: &mut Dec) -> Result<RuntimeCapture, ImageError> {
+fn dec_capture(d: &mut Dec, intern: &mut MemberIntern) -> Result<RuntimeCapture, ImageError> {
     let rank = d.usize("capture rank")?;
     let state = match d.u8("capture state")? {
         s @ 0..=6 => RankState::from_u8(s),
@@ -776,7 +843,7 @@ fn dec_capture(d: &mut Dec) -> Result<RuntimeCapture, ImageError> {
     for _ in 0..n_seq {
         let g = Ggid(d.u64("seq-table ggid")?);
         let s = d.u64("seq-table seq")?;
-        let members = dec_usize_list(d, "seq-table members")?;
+        let members = dec_members(d, intern, "seq-table members")?;
         seq_table.restore(g, s, members);
     }
     let n_log = d.seq_len("comm-log length")?;
@@ -814,7 +881,7 @@ fn dec_capture(d: &mut Dec) -> Result<RuntimeCapture, ImageError> {
     let mut vcomm_members = HashMap::with_capacity(n_members);
     for _ in 0..n_members {
         let v = d.u64("vcomm member key")?;
-        vcomm_members.insert(v, dec_usize_list(d, "vcomm member list")?);
+        vcomm_members.insert(v, dec_members(d, intern, "vcomm member list")?);
     }
     Ok(RuntimeCapture {
         rank,
@@ -860,17 +927,17 @@ fn enc_event<W: Wr>(e: &mut W, ev: &ExecEvent) {
     e.usize(ev.rank);
     e.u64(ev.node.ggid.0);
     e.u64(ev.node.seq);
-    enc_usize_list(e, &ev.members);
+    enc_members(e, &ev.members);
 }
 
-fn dec_event(d: &mut Dec) -> Result<ExecEvent, ImageError> {
+fn dec_event(d: &mut Dec, intern: &mut MemberIntern) -> Result<ExecEvent, ImageError> {
     Ok(ExecEvent {
         rank: d.usize("event rank")?,
         node: Node {
             ggid: Ggid(d.u64("event ggid")?),
             seq: d.u64("event seq")?,
         },
-        members: dec_usize_list(d, "event members")?,
+        members: dec_members(d, intern, "event members")?,
     })
 }
 
@@ -882,7 +949,7 @@ mod tests {
         ExecEvent {
             rank,
             node: Node { ggid: Ggid(g), seq },
-            members: members.to_vec(),
+            members: members.into(),
         }
     }
 
@@ -993,7 +1060,9 @@ mod tests {
                 p2p_sent: 4 + rank as u64,
                 p2p_delivered: 3,
                 vcomm_to_lower: [(0u64, CommId(0)), (2, CommId(4))].into_iter().collect(),
-                vcomm_members: [(0u64, vec![0, 1]), (2, vec![1, 0])].into_iter().collect(),
+                vcomm_members: [(0u64, vec![0, 1].into()), (2, vec![1, 0].into())]
+                    .into_iter()
+                    .collect(),
             });
         }
         c.in_flight.push(DrainedMsg {

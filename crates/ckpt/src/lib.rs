@@ -87,25 +87,50 @@
 //!   (a cut that fails the safe-cut oracle, a malformed image, a failed
 //!   thread spawn) as a typed [`RestoreError`] instead of panicking.
 //!
-//! ## Execution model: batched cooperative scheduling
+//! ## Execution model: two rank representations, one semantics
 //!
-//! Rank bodies still run on one thread each (the thread *is* the rank's
-//! continuation), but execution is multiplexed by [`mpisim::Scheduler`]:
-//! only `~num_cpus` ranks hold run slots at any instant
-//! ([`mpisim::world::WorldConfig::workers`] overrides the bound), which
-//! is what carries the paper's 512-rank worlds — and the beyond-paper
-//! 4096-rank tier — on one host. Every park
-//! in this crate is a scheduler **yield-point** — the drain gate's
-//! entry park, the 2PC trivial-barrier poll, the cooperative p2p wait,
-//! and the quiesce/capture park all release their slot for the duration
-//! (`Ctx::blocked` / the scheduler's `blocking` bracket), and all of
-//! them are *event-driven*: wakes come from mailbox deposits, collective
-//! completions, the update bus, and coordinator phase transitions, never
-//! from short timed polls (a 200 µs re-check multiplied by 512 parked
-//! ranks would saturate the host exactly during capture). The scheduler
-//! outlives the lower half: restart builds the next [`mpisim::World`]
-//! generation onto the same scheduler and the parked threads wake into
-//! it.
+//! A rank body runs in one of two **representations**:
+//!
+//! * **Legacy closure shim** ([`run_ckpt_world`]): the body is a closure
+//!   on its own thread (the thread *is* the rank's continuation),
+//!   multiplexed by [`mpisim::Scheduler`]: only `~num_cpus` ranks hold
+//!   run slots at any instant
+//!   ([`mpisim::world::WorldConfig::workers`] overrides the bound),
+//!   which is what carries the paper's 512-rank worlds — and the
+//!   beyond-paper 4096-rank tier — on one host. Every park in this
+//!   crate is a scheduler **yield-point** — the drain gate's entry
+//!   park, the 2PC trivial-barrier poll, the cooperative p2p wait, and
+//!   the quiesce/capture park all release their slot for the duration
+//!   (`Ctx::blocked` / the scheduler's `blocking` bracket). The
+//!   scheduler outlives the lower half: restart builds the next
+//!   [`mpisim::World`] generation onto the same scheduler and the
+//!   parked threads wake into it.
+//! * **Heap step objects** ([`run_ckpt_world_steps`]): the body is a
+//!   [`StepBody`] state machine — a parked rank is a boxed object, not
+//!   a stack — driven by [`mpisim::StepDriver`] workers through
+//!   [`StepRank`]'s idempotent-start `poll_*` API (the way async bodies
+//!   lower). No per-rank OS thread or stack exists, which is what
+//!   carries 65 536-rank worlds.
+//!
+//! In both representations every wait is *event-driven*: wakes come
+//! from mailbox deposits, collective completions, the update bus, and
+//! coordinator phase transitions, never from short timed polls (a
+//! 200 µs re-check multiplied by 512 parked ranks would saturate the
+//! host exactly during capture).
+//!
+//! **Representation independence.** The checkpoint semantics cannot see
+//! which representation a rank runs under. The step engine
+//! ([`rank::step`]) mirrors the blocking wrapper paths instruction for
+//! instruction — same counter increments, same drain-gate decisions,
+//! same uncharged waits — so the virtual trajectory, the app-visible
+//! [`mana_core::CallCounters`], the `SEQ[]` tables, and the captured
+//! images are bit-identical for the same program and seed. A cut
+//! captured under one representation restores under the other
+//! ([`restore_ckpt_world_steps`] / [`restore_ckpt_world`]); the restore
+//! driver's replay cross-check enforces the field-by-field equality of
+//! the replayed capture against the image, whichever representation
+//! re-executes the program. `bench/tests/representation_equiv.rs` pins
+//! this both ways on randomized schedules.
 //!
 //! None of this touches virtual time, so the deterministic-replay
 //! contract restore relies on is preserved: app-visible
@@ -115,7 +140,10 @@
 //! model: the drain-stall watchdog window defaults to
 //! [`coordinator::auto_stall_timeout`] (grows with the world size,
 //! since wall progress per rank thins out linearly once ranks outnumber
-//! workers); [`CkptOptions::with_stall_timeout`] pins it.
+//! workers); [`CkptOptions::with_stall_timeout`] pins it. One knob does
+//! *not* carry over: [`mpisim::world::WorldConfig::with_stack_size`]
+//! sizes the legacy shim's per-rank threads and is rejected with a
+//! typed [`SpawnError`] in step mode — step ranks own no stack to size.
 
 pub mod bus;
 pub mod coordinator;
@@ -140,7 +168,12 @@ pub use policy::{
     EveryNCollectives, NeverTrigger, PeriodicInterval, TriggerObservation, TriggerPolicy,
     VirtualTimeSchedule,
 };
+pub use rank::step::{StepPoll, StepRank};
 pub use rank::CcRank;
-pub use restore::{restore_ckpt_world, try_restore_ckpt_world, RestoreConfig, RestoreError};
+pub use restore::{
+    restore_ckpt_world, restore_ckpt_world_steps, try_restore_ckpt_world,
+    try_restore_ckpt_world_steps, RestoreConfig, RestoreError,
+};
+pub use runner::step::{run_ckpt_world_steps, try_run_ckpt_world_steps, BodyStep, StepBody};
 pub use runner::{run_ckpt_world, try_run_ckpt_world, CkptOptions, CkptRunReport};
 pub use session::Session;

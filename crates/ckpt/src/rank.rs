@@ -17,9 +17,9 @@ use crate::session::Session;
 use bytes::Bytes;
 use mana_core::capture::PendingRecv;
 use mana_core::{
-    ggid_of, ggid_of_sorted, CallCounters, CkptPhase, CommOp, DrainEvent, Ggid, Protocol,
-    RankState, RuntimeCapture, TargetTable, VComm, VCommTable, VReq, VReqKind, VReqState,
-    VReqTable, VCOMM_WORLD,
+    ggid_of, CallCounters, CkptPhase, CommOp, DrainEvent, Ggid, Protocol, RankState,
+    RuntimeCapture, TargetTable, VComm, VCommTable, VReq, VReqKind, VReqState, VReqTable,
+    VCOMM_WORLD,
 };
 use mpisim::collective::RedSpec;
 use mpisim::comm::{create_color, SplitKey};
@@ -32,6 +32,8 @@ use netmodel::wrapper_cost;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Arc;
+
+pub mod step;
 
 /// One rank's checkpoint-aware handle to the simulated MPI library.
 pub struct CcRank {
@@ -292,13 +294,14 @@ impl CcRank {
     }
 
     /// Records a collective participation in the shared execution log.
+    /// The member list rides along as a shared handle — O(1) per call, so
+    /// the log stays O(events) even at 65 536-rank worlds.
     fn record_exec(&mut self, ggid: Ggid, seq: u64) {
         let members = self.sh.control.ranks[self.rank]
             .seq_mirror
             .lock()
-            .members(ggid)
-            .expect("collective on registered group")
-            .to_vec();
+            .members_shared(ggid)
+            .expect("collective on registered group");
         self.sh.exec_log.record(self.rank, ggid, seq, members);
     }
 
@@ -509,13 +512,12 @@ impl CcRank {
         let members = sh.control.ranks[self.rank]
             .seq_mirror
             .lock()
-            .members(ggid)
-            .map(<[usize]>::to_vec)
-            .unwrap_or_default();
+            .members_shared(ggid)
+            .unwrap_or_else(|| Vec::new().into());
         sh.trace
             .push(DrainEvent::TargetRaised(self.rank, ggid, seq));
-        sh.bus.record_raise(ggid, seq, members.clone());
-        for m in members {
+        sh.bus.record_raise(ggid, seq, Arc::clone(&members));
+        for &m in members.iter() {
             if m != self.rank {
                 sh.bus.send(
                     &sh.control,
@@ -733,12 +735,11 @@ impl CcRank {
                         seq,
                         color,
                     },
-                    Group::new(members.clone()),
+                    Group::from_shared(members),
                 );
                 let comm = Comm::for_world_rank(inner, self.rank);
-                let mut sorted = members;
-                sorted.sort_unstable();
-                self.vcomms.rebind(v, comm, ggid_of_sorted(&sorted));
+                let ggid = ggid_of(comm.group());
+                self.vcomms.rebind(v, comm, ggid);
             }
         }
         let sh = Arc::clone(&self.sh);

@@ -27,6 +27,7 @@
 use crate::coordinator::{image_file_layout, Coordinator, StorageSpec};
 use crate::image::Checkpoint;
 use crate::rank::CcRank;
+use crate::runner::step::{run_session_steps, StepBody};
 use crate::runner::{run_session_threads, CkptRunReport};
 use crate::session::{RestorePlan, Session};
 use mana_core::{RankState, RuntimeCapture, Violation};
@@ -200,6 +201,68 @@ where
     R: Send,
     F: Fn(&mut CcRank) -> R + Send + Sync,
 {
+    let (replay_cfg, restored_cfg) = restore_preflight(image, &rcfg)?;
+    let plan = RestorePlan::from_image(image);
+    let sh = Session::for_restore(replay_cfg, image.protocol, plan);
+    let sup = Arc::clone(&sh);
+    run_session_threads(sh, rcfg.stack_size, f, move || {
+        drive_restore(&sup, image, &rcfg, restored_cfg);
+        (Vec::new(), Vec::new(), Vec::new())
+    })
+    .map_err(RestoreError::from)
+}
+
+/// [`restore_ckpt_world`] for step-function bodies: the replay ranks are
+/// heap step objects ([`StepBody`]) instead of threads, driven by the
+/// step driver. `make(rank)` must build the same program the image was
+/// captured from — under either representation: the step engine parks at
+/// the identical cut with identical captured state, so images are
+/// portable across representations in both directions.
+///
+/// # Panics
+/// Panics where [`try_restore_ckpt_world_steps`] returns a typed
+/// [`RestoreError`].
+pub fn restore_ckpt_world_steps<B, MK>(
+    image: &Checkpoint,
+    rcfg: RestoreConfig,
+    make: MK,
+) -> CkptRunReport<B::Out>
+where
+    B: StepBody,
+    MK: Fn(usize) -> B + Send + Sync,
+{
+    try_restore_ckpt_world_steps(image, rcfg, make).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`restore_ckpt_world_steps`], with pre-flight rejections surfaced as a
+/// typed [`RestoreError`]. A non-default [`RestoreConfig::stack_size`]
+/// is rejected as [`RestoreError::Spawn`] — step ranks own no stack.
+pub fn try_restore_ckpt_world_steps<B, MK>(
+    image: &Checkpoint,
+    rcfg: RestoreConfig,
+    make: MK,
+) -> Result<CkptRunReport<B::Out>, RestoreError>
+where
+    B: StepBody,
+    MK: Fn(usize) -> B + Send + Sync,
+{
+    let (replay_cfg, restored_cfg) = restore_preflight(image, &rcfg)?;
+    let plan = RestorePlan::from_image(image);
+    let sh = Session::for_restore(replay_cfg, image.protocol, plan);
+    let sup = Arc::clone(&sh);
+    run_session_steps(sh, rcfg.stack_size, make, move || {
+        drive_restore(&sup, image, &rcfg, restored_cfg);
+        (Vec::new(), Vec::new(), Vec::new())
+    })
+    .map_err(RestoreError::from)
+}
+
+/// The shared pre-flight of both restore runners: image shape and
+/// safe-cut checks, then the replay and restored world configurations.
+fn restore_preflight(
+    image: &Checkpoint,
+    rcfg: &RestoreConfig,
+) -> Result<(WorldConfig, WorldConfig), RestoreError> {
     if image.captures.len() != image.n_ranks {
         return Err(RestoreError::MalformedImage("capture count vs n_ranks"));
     }
@@ -222,15 +285,7 @@ where
             .unwrap_or_else(|| image.origin.params.clone()),
         ..replay_cfg.clone()
     };
-
-    let plan = RestorePlan::from_image(image);
-    let sh = Session::for_restore(replay_cfg, image.protocol, plan);
-    let sup = Arc::clone(&sh);
-    run_session_threads(sh, rcfg.stack_size, f, move || {
-        drive_restore(&sup, image, &rcfg, restored_cfg);
-        (Vec::new(), Vec::new(), Vec::new())
-    })
-    .map_err(RestoreError::from)
+    Ok((replay_cfg, restored_cfg))
 }
 
 /// The restore driver: waits for the replay to park at the image's cut,

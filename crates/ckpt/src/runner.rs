@@ -22,6 +22,8 @@ use std::sync::atomic::Ordering::{Relaxed, SeqCst};
 use std::sync::Arc;
 use std::time::Duration;
 
+pub mod step;
+
 /// Options for [`run_ckpt_world`].
 pub struct CkptOptions {
     /// Coordination protocol for the wrapper layer.
@@ -147,6 +149,13 @@ pub struct CkptRunReport<R> {
     /// Wall time, not virtual time — the benchmark's `capture_wall_s`
     /// column. Empty for restored runs.
     pub capture_wall_s: Vec<f64>,
+    /// Step-runner only: resident-set growth of this process across the
+    /// step-object build phase, divided by the rank count — the
+    /// "bytes of heap one parked rank costs" column of the Figure 7
+    /// benchmark. `None` for thread-runner runs (a parked rank there
+    /// costs a whole stack, accounted by the kernel, not the heap) and on
+    /// platforms without `/proc/self/statm`.
+    pub rank_build_rss_bytes: Option<u64>,
 }
 
 impl<R> CkptRunReport<R> {
@@ -356,6 +365,7 @@ where
         events: sh.exec_log.events(),
         backstop_expiries: sh.backstop_expiries(),
         capture_wall_s,
+        rank_build_rss_bytes: None,
     })
 }
 

@@ -73,7 +73,10 @@ pub struct RuntimeCapture {
     /// Member world ranks of each live vcomm, **in group order**. Restart
     /// replay rebuilds communicators directly from these (no creation
     /// collective), so replay cannot hang on members that already finished.
-    pub vcomm_members: HashMap<u64, Vec<usize>>,
+    /// Shared storage: every rank capturing the same communicator holds
+    /// the same allocation, keeping a world capture O(ranks + members)
+    /// instead of O(ranks × members).
+    pub vcomm_members: HashMap<u64, std::sync::Arc<[usize]>>,
 }
 
 #[cfg(test)]

@@ -147,6 +147,11 @@ pub struct RankCtl {
     /// Park/wake for quiesced ranks.
     park: Mutex<()>,
     park_cv: Condvar,
+    /// Step-mode wake hook: invoked by every [`RankCtl::wake`] so a
+    /// parked step rank learns about control-plane events (phase
+    /// transitions, target installs, bus sends, resume) through its
+    /// driver. `None` for thread-representation ranks.
+    waker: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
     /// Shared backstop-expiry accounting (the world's [`WakeupStats`]).
     stats: Arc<WakeupStats>,
 }
@@ -172,8 +177,16 @@ impl RankCtl {
             replayed_comms: Mutex::new(HashMap::new()),
             park: Mutex::new(()),
             park_cv: Condvar::new(),
+            waker: Mutex::new(None),
             stats,
         }
+    }
+
+    /// Installs the step-mode waker invoked on every [`RankCtl::wake`].
+    /// Wired by the step runner at launch; thread-representation sessions
+    /// never set it.
+    pub fn set_waker(&self, w: Arc<dyn Fn() + Send + Sync>) {
+        *self.waker.lock() = Some(w);
     }
 
     /// Publishes a state transition.
@@ -210,8 +223,14 @@ impl RankCtl {
     /// its wait can never miss it (the predicate's state is always
     /// published *before* `wake` is called).
     pub fn wake(&self) {
-        let _guard = self.park.lock();
-        self.park_cv.notify_all();
+        {
+            let _guard = self.park.lock();
+            self.park_cv.notify_all();
+        }
+        let waker = self.waker.lock().clone();
+        if let Some(w) = waker {
+            w();
+        }
     }
 }
 
@@ -350,7 +369,7 @@ impl CkptControl {
     /// they cannot participate), matching §4.1.
     pub fn compute_and_install_targets(&self) -> HashMap<Ggid, u64> {
         debug_assert!(self.is_pending());
-        let mut maxes: HashMap<Ggid, (u64, Vec<usize>)> = HashMap::new();
+        let mut maxes: HashMap<Ggid, (u64, std::sync::Arc<[usize]>)> = HashMap::new();
         for rc in &self.ranks {
             let table = rc.seq_mirror.lock();
             for (g, e) in table.iter() {

@@ -9,6 +9,7 @@
 
 use crate::ggid::Ggid;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One group's entry in a rank's sequence table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,8 +20,10 @@ pub struct SeqEntry {
     pub seq: u64,
     /// Member world ranks (sorted). Needed to push target updates to the
     /// other members — discoverable locally via
-    /// `MPI_Group_translate_ranks`, as the paper notes.
-    pub members: Vec<usize>,
+    /// `MPI_Group_translate_ranks`, as the paper notes. Shared storage:
+    /// every rank registering the same group holds the same allocation,
+    /// so a 65 536-rank world costs one member list, not 65 536 copies.
+    pub members: Arc<[usize]>,
 }
 
 /// A rank's local `SEQ[]` table.
@@ -37,10 +40,11 @@ impl SeqTable {
 
     /// Registers a group (on communicator creation). Idempotent; the
     /// sequence number starts at zero, per §4.2.1.
-    pub fn register_group(&mut self, ggid: Ggid, members: Vec<usize>) {
-        self.entries
-            .entry(ggid)
-            .or_insert(SeqEntry { seq: 0, members });
+    pub fn register_group(&mut self, ggid: Ggid, members: impl Into<Arc<[usize]>>) {
+        self.entries.entry(ggid).or_insert_with(|| SeqEntry {
+            seq: 0,
+            members: members.into(),
+        });
     }
 
     /// Increments `SEQ[ggid]` and returns the new value.
@@ -64,7 +68,14 @@ impl SeqTable {
 
     /// Member world ranks of a registered group.
     pub fn members(&self, ggid: Ggid) -> Option<&[usize]> {
-        self.entries.get(&ggid).map(|e| e.members.as_slice())
+        self.entries.get(&ggid).map(|e| &*e.members)
+    }
+
+    /// Shared handle to a registered group's member list. Cloning the
+    /// returned `Arc` is how per-call consumers (the execution log, the
+    /// capture path) reference the members without copying them.
+    pub fn members_shared(&self, ggid: Ggid) -> Option<Arc<[usize]>> {
+        self.entries.get(&ggid).map(|e| Arc::clone(&e.members))
     }
 
     /// Iterates `(ggid, entry)`.
@@ -83,8 +94,14 @@ impl SeqTable {
     }
 
     /// Overwrites an entry's sequence (restart restore path).
-    pub fn restore(&mut self, ggid: Ggid, seq: u64, members: Vec<usize>) {
-        self.entries.insert(ggid, SeqEntry { seq, members });
+    pub fn restore(&mut self, ggid: Ggid, seq: u64, members: impl Into<Arc<[usize]>>) {
+        self.entries.insert(
+            ggid,
+            SeqEntry {
+                seq,
+                members: members.into(),
+            },
+        );
     }
 }
 

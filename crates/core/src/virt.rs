@@ -146,10 +146,12 @@ impl VCommTable {
 
     /// Snapshot of each live vcomm's member world ranks **in group order**
     /// (for the checkpoint image's direct communicator rebuild at restart).
-    pub fn members_map(&self) -> HashMap<u64, Vec<usize>> {
+    /// Member lists are shared handles into the lower-half groups — the
+    /// snapshot is O(vcomms), not O(vcomms × members).
+    pub fn members_map(&self) -> HashMap<u64, std::sync::Arc<[usize]>> {
         self.map
             .iter()
-            .map(|(v, (c, _))| (v.0, c.group().members().to_vec()))
+            .map(|(v, (c, _))| (v.0, c.group().members_shared()))
             .collect()
     }
 

@@ -246,34 +246,7 @@ impl Ctx {
             Bytes::from(payload),
             None,
         );
-        if color < 0 {
-            return None;
-        }
-        // Decode all (color, key) pairs and build my color's member list.
-        let mut members: Vec<(i64, usize)> = Vec::new(); // (key, parent rank)
-        for (gr, chunk) in gathered.chunks_exact(16).enumerate() {
-            let c = i64::from_le_bytes(chunk[0..8].try_into().unwrap());
-            let k = i64::from_le_bytes(chunk[8..16].try_into().unwrap());
-            if c == color {
-                members.push((k, gr));
-            }
-        }
-        members.sort();
-        let group = Group::new(
-            members
-                .iter()
-                .map(|&(_, gr)| parent.group().world_rank(gr))
-                .collect(),
-        );
-        let inner = self.world.comm_for_split(
-            SplitKey {
-                parent: parent.id(),
-                seq,
-                color,
-            },
-            group,
-        );
-        Some(Comm::for_world_rank(inner, self.world_rank))
+        self.comm_split_finish(parent, seq, color, &gathered)
     }
 
     /// `MPI_Comm_dup`: duplicates `parent` (same group, fresh context id).
@@ -282,15 +255,7 @@ impl Ctx {
         let seq = self.bump_comm_seq(parent.id());
         // Synchronize (and charge) like a tiny allgather.
         let _ = self.run_collective(parent, seq, CollOp::Allgather, 0, Bytes::new(), None);
-        let inner = self.world.comm_for_split(
-            SplitKey {
-                parent: parent.id(),
-                seq,
-                color: i64::MIN, // reserved for dup
-            },
-            parent.group().clone(),
-        );
-        Comm::for_world_rank(inner, self.world_rank)
+        self.comm_dup_finish(parent, seq)
     }
 
     /// `MPI_Comm_create`: collective over `parent`; ranks inside `group`
@@ -896,6 +861,145 @@ impl Ctx {
     /// `MPI_Iallgather`.
     pub fn iallgather(&mut self, comm: &Comm, data: Bytes) -> Request {
         self.icollective(comm, CollOp::Allgather, 0, data, None)
+    }
+
+    // ------------------------------------------------------------------
+    // Step-mode decompositions
+    // ------------------------------------------------------------------
+    //
+    // Poll-driven halves of the blocking calls above, for rank bodies
+    // lowered to step functions: a step rank cannot sit in
+    // `blocking(wait_and_take)`, so it *begins* the operation here
+    // (entering the instance exactly like the blocking path — no
+    // initiation charge, unlike `icollective`) and then drives the
+    // returned request with [`Ctx::try_complete`], which advances the
+    // clock to the completion time just like `wait` would. The two
+    // representations therefore produce bit-identical virtual-time
+    // trajectories.
+
+    fn begin_collective(
+        &mut self,
+        comm: &Comm,
+        seq: u64,
+        op: CollOp,
+        root: usize,
+        payload: Bytes,
+        red: Option<RedSpec>,
+    ) -> Request {
+        let inst = self.world.coll.get_or_create(
+            (comm.id(), seq),
+            op,
+            root,
+            red,
+            comm.group(),
+            || self.world.alloc_instance(),
+            || self.world.instance_env(comm.group()),
+        );
+        inst.enter(comm.rank(), self.clock, payload, op, root, red);
+        Request::coll(inst, comm.rank())
+    }
+
+    /// Begins a *blocking-semantics* collective without blocking: enters
+    /// the instance at the current clock (no initiation charge) and
+    /// returns the request to poll with [`Ctx::try_complete`]. The
+    /// step-mode counterpart of [`Ctx::collective`].
+    pub fn coll_begin(
+        &mut self,
+        comm: &Comm,
+        op: CollOp,
+        root: usize,
+        payload: Bytes,
+        red: Option<RedSpec>,
+    ) -> Request {
+        self.check_epoch(comm);
+        let seq = self.bump_comm_seq(comm.id());
+        self.begin_collective(comm, seq, op, root, payload, red)
+    }
+
+    /// Begins the allgather phase of `MPI_Comm_split` (step-mode half of
+    /// [`Ctx::comm_split`]). Returns the request and the parent-comm
+    /// ordinal the split will be registered under; pass both, plus the
+    /// gathered payload from [`Ctx::try_complete`], to
+    /// [`Ctx::comm_split_finish`].
+    pub fn comm_split_begin(&mut self, parent: &Comm, color: i64, key: i64) -> (Request, u64) {
+        self.check_epoch(parent);
+        let seq = self.bump_comm_seq(parent.id());
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(&color.to_le_bytes());
+        payload.extend_from_slice(&key.to_le_bytes());
+        let req = self.begin_collective(
+            parent,
+            seq,
+            CollOp::Allgather,
+            0,
+            Bytes::from(payload),
+            None,
+        );
+        (req, seq)
+    }
+
+    /// Builds the split communicator from the gathered `(color, key)`
+    /// pairs. Shared by the blocking [`Ctx::comm_split`] and the step-mode
+    /// begin/finish pair — the decode is representation-independent.
+    pub fn comm_split_finish(
+        &mut self,
+        parent: &Comm,
+        seq: u64,
+        color: i64,
+        gathered: &Bytes,
+    ) -> Option<Comm> {
+        if color < 0 {
+            return None;
+        }
+        // Decode all (color, key) pairs and build my color's member list.
+        let mut members: Vec<(i64, usize)> = Vec::new(); // (key, parent rank)
+        for (gr, chunk) in gathered.chunks_exact(16).enumerate() {
+            let c = i64::from_le_bytes(chunk[0..8].try_into().unwrap());
+            let k = i64::from_le_bytes(chunk[8..16].try_into().unwrap());
+            if c == color {
+                members.push((k, gr));
+            }
+        }
+        members.sort();
+        let group = Group::new(
+            members
+                .iter()
+                .map(|&(_, gr)| parent.group().world_rank(gr))
+                .collect(),
+        );
+        let inner = self.world.comm_for_split(
+            SplitKey {
+                parent: parent.id(),
+                seq,
+                color,
+            },
+            group,
+        );
+        Some(Comm::for_world_rank(inner, self.world_rank))
+    }
+
+    /// Begins the synchronization phase of `MPI_Comm_dup` (step-mode half
+    /// of [`Ctx::comm_dup`]). Complete the request with
+    /// [`Ctx::try_complete`], then call [`Ctx::comm_dup_finish`].
+    pub fn comm_dup_begin(&mut self, parent: &Comm) -> (Request, u64) {
+        self.check_epoch(parent);
+        let seq = self.bump_comm_seq(parent.id());
+        let req = self.begin_collective(parent, seq, CollOp::Allgather, 0, Bytes::new(), None);
+        (req, seq)
+    }
+
+    /// Builds the duplicate communicator once the dup synchronization
+    /// completed. Shared by [`Ctx::comm_dup`] and the step-mode pair.
+    pub fn comm_dup_finish(&mut self, parent: &Comm, seq: u64) -> Comm {
+        let inner = self.world.comm_for_split(
+            SplitKey {
+                parent: parent.id(),
+                seq,
+                color: i64::MIN, // reserved for dup
+            },
+            parent.group().clone(),
+        );
+        Comm::for_world_rank(inner, self.world_rank)
     }
 }
 

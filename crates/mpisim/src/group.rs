@@ -6,11 +6,24 @@
 //! exactly that equivalence, so `Group::sorted_members` is the canonical
 //! form the ggid hash consumes.
 
+use std::sync::Arc;
+
 /// An ordered set of world ranks, as in `MPI_Group`.
+///
+/// Member storage is shared (`Arc<[usize]>`): cloning a group — and
+/// cloning the communicators built on it, one handle per rank — never
+/// copies the member list. At 65 536 ranks a per-rank copy of the world
+/// group would cost half a megabyte *per rank*; the shared form costs it
+/// once per communicator.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Group {
     /// Group rank → world rank, in group order.
-    members: Vec<usize>,
+    members: Arc<[usize]>,
+    /// Members sorted ascending (the canonical `MPI_SIMILAR`
+    /// representative the ggid hash consumes). Shares the `members`
+    /// allocation when the group is already sorted — true for the world
+    /// group and every key-ordered split.
+    sorted: Arc<[usize]>,
 }
 
 impl Group {
@@ -19,21 +32,36 @@ impl Group {
     /// # Panics
     /// Panics if the list contains duplicates (not a set).
     pub fn new(members: Vec<usize>) -> Self {
-        let mut sorted = members.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(
-            sorted.len(),
-            members.len(),
+        Group::from_shared(members.into())
+    }
+
+    /// Creates a group that adopts an already-shared member list without
+    /// copying it — the restore path hands every rank the image decoder's
+    /// interned allocation.
+    ///
+    /// # Panics
+    /// Panics if the list contains duplicates (not a set).
+    pub fn from_shared(members: Arc<[usize]>) -> Self {
+        let sorted = if members.windows(2).all(|w| w[0] < w[1]) {
+            Arc::clone(&members)
+        } else {
+            let mut s = members.to_vec();
+            s.sort_unstable();
+            s.into()
+        };
+        assert!(
+            sorted.windows(2).all(|w| w[0] < w[1]),
             "group members must be distinct"
         );
-        Group { members }
+        Group { members, sorted }
     }
 
     /// The world-communicator group over `n` ranks: identity mapping.
     pub fn world(n: usize) -> Self {
+        let members: Arc<[usize]> = (0..n).collect();
         Group {
-            members: (0..n).collect(),
+            sorted: Arc::clone(&members),
+            members,
         }
     }
 
@@ -56,6 +84,13 @@ impl Group {
     /// Group rank of a world rank (`MPI_Group_rank` after translation), or
     /// `None` if not a member — MPI's `MPI_UNDEFINED`.
     pub fn group_rank_of_world(&self, world: usize) -> Option<usize> {
+        // Identity fast path: in the world group (and any identity-mapped
+        // subgroup prefix) a rank sits at its own index, so the O(p) scan
+        // — quadratic across a whole world's worth of handle builds — is
+        // skipped.
+        if self.members.get(world) == Some(&world) {
+            return Some(world);
+        }
         self.members.iter().position(|&m| m == world)
     }
 
@@ -69,17 +104,22 @@ impl Group {
         &self.members
     }
 
+    /// Shared handle to the group-order member list (see the type docs:
+    /// cloning is reference-count traffic, not a copy).
+    pub fn members_shared(&self) -> Arc<[usize]> {
+        Arc::clone(&self.members)
+    }
+
     /// Members sorted ascending: the canonical `MPI_SIMILAR` representative
-    /// used by the ggid hash.
-    pub fn sorted_members(&self) -> Vec<usize> {
-        let mut m = self.members.clone();
-        m.sort_unstable();
-        m
+    /// used by the ggid hash. Returns a handle to the group's shared
+    /// allocation — cloning it is reference-count traffic, not a copy.
+    pub fn sorted_members(&self) -> Arc<[usize]> {
+        Arc::clone(&self.sorted)
     }
 
     /// `MPI_SIMILAR` (or closer): same member set, order ignored.
     pub fn similar(&self, other: &Group) -> bool {
-        self.size() == other.size() && self.sorted_members() == other.sorted_members()
+        self.size() == other.size() && self.sorted == other.sorted
     }
 
     /// `MPI_IDENT`: same members in the same order.

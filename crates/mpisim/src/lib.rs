@@ -2,19 +2,31 @@
 //!
 //! `mpisim` is the "MPI library + network" substrate for the `mana-cc`
 //! reproduction of *Enabling Practical Transparent Checkpointing for MPI: A
-//! Topological Sort Approach* (CLUSTER 2024). Every simulated MPI process
-//! (**rank**) owns an OS thread that serves as its continuation, but rank
-//! *execution* is multiplexed by the batched cooperative scheduler
-//! ([`sched`]): only `~num_cpus` ranks run at any instant, every blocking
-//! wait releases its run slot, and polling loops rotate slots round-robin
-//! at their yield-points — which is what lets a single host carry the
-//! paper's 512-rank worlds (and, with 128 KiB rank stacks and the
-//! lock-free collective rendezvous, 4096-rank ones). Ranks communicate
-//! through in-memory mailboxes
+//! Topological Sort Approach* (CLUSTER 2024). A simulated MPI process
+//! (**rank**) has two continuation representations:
+//!
+//! * **Thread ranks** (the original, still the test shim): the rank owns
+//!   an OS thread, and execution is multiplexed by the batched cooperative
+//!   scheduler ([`sched`]) — only `~num_cpus` ranks run at any instant,
+//!   every blocking wait releases its run slot, and polling loops rotate
+//!   slots round-robin at their yield-points. With 128 KiB rank stacks and
+//!   the lock-free collective rendezvous this carries 4096-rank worlds.
+//! * **Step ranks** (the scale representation): a parked rank is a heap
+//!   object implementing [`sched::RankStep`] — a hand-lowered state
+//!   machine, the way async bodies lower — resumed by the
+//!   [`sched::StepDriver`]'s worker pool. No per-rank stack or kernel
+//!   thread exists, which is what lets a single host carry 65 536-rank
+//!   worlds; see the step-driver section of [`sched`] for the wake
+//!   protocol.
+//!
+//! Ranks communicate through in-memory mailboxes
 //! and collective rendezvous instances, while a per-rank **virtual clock**
 //! (see [`netmodel`]) accounts for the time a real cluster would spend.
 //! The scheduler never touches virtual time, so timing results are
-//! independent of the worker bound.
+//! independent of the worker bound — and both continuation
+//! representations drive the same uncharged completion paths
+//! ([`ctx::Ctx::try_complete`], [`ctx::Ctx::coll_begin`]), so they produce
+//! bit-identical virtual-time trajectories.
 //!
 //! The crate implements the slice of the MPI-4.0 semantics that the paper's
 //! checkpointing protocols observe:
@@ -67,7 +79,7 @@ pub use group::Group;
 pub use msg::{SavedMsg, Status};
 pub use reduce_op::ReduceOp;
 pub use request::{Completion, Request};
-pub use sched::{Scheduler, WakeupStats};
+pub use sched::{RankStep, Scheduler, Step, StepDriver, WaitReason, WakeupStats};
 pub use types::{SrcSel, Tag, TagSel};
 pub use world::{
     run_world, try_run_world, RankReport, SpawnError, World, WorldConfig, WorldReport,

@@ -12,6 +12,7 @@ use crate::group::Group;
 use crate::msg::InFlightMsg;
 use crate::types::{CommId, SrcSel, TagSel};
 use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The matching criteria of a receive or probe.
@@ -44,12 +45,26 @@ impl MatchSpec<'_> {
 
 /// A rank's mailbox: arrival-ordered unexpected queue plus a condition
 /// variable for blocking receivers.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Mailbox {
     inner: Mutex<Vec<InFlightMsg>>,
     cv: Condvar,
     /// Monotone count of deposits, for "did anything change" polling.
     generation: Mutex<u64>,
+    /// Step-mode wake hook: invoked on every [`Mailbox::notify_activity`]
+    /// so a parked step rank learns about deposits and collective
+    /// completions through its driver instead of a condition variable.
+    /// `None` for thread-representation worlds.
+    waker: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for Mailbox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mailbox")
+            .field("queued", &self.len())
+            .field("has_waker", &self.waker.lock().is_some())
+            .finish()
+    }
 }
 
 impl Mailbox {
@@ -77,6 +92,17 @@ impl Mailbox {
     pub fn notify_activity(&self) {
         *self.generation.lock() += 1;
         self.cv.notify_all();
+        let waker = self.waker.lock().clone();
+        if let Some(w) = waker {
+            w();
+        }
+    }
+
+    /// Installs the step-mode waker invoked on every activity
+    /// notification. Wired by the world constructor from the scheduler's
+    /// step-waker registry; thread-representation worlds never set it.
+    pub fn set_waker(&self, w: Arc<dyn Fn() + Send + Sync>) {
+        *self.waker.lock() = Some(w);
     }
 
     /// Removes and returns the first message matching `spec`, if any.

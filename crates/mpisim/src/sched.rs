@@ -47,6 +47,40 @@
 //! checkpoint engine replaces the lower half at restart while the rank
 //! threads (and their slots) live on, so restarted generations are built
 //! with [`crate::World::with_epoch_attached`] onto the same scheduler.
+//!
+//! # Step-function ranks: the heap-allocated continuation
+//!
+//! The thread-per-rank representation above still pays one OS thread and
+//! one stack per rank *for existence*. That is the hard ceiling on world
+//! size: at 65 536 ranks the stacks alone cost gigabytes before the first
+//! MPI call runs. The second representation in this module removes it.
+//!
+//! A **step-fn rank** is a heap object implementing [`RankStep`] — the
+//! rank's body hand-lowered into an explicit state machine, exactly the
+//! way a compiler lowers an `async` body: each [`RankStep::step`] call
+//! runs the body forward to its next wait point and returns
+//! [`Step::Yield`] (parked, waiting for an event or wanting another
+//! poll) or [`Step::Done`]. A parked rank is then *only* its state —
+//! typically a few hundred bytes — not a stack, and no OS thread is
+//! dedicated to it.
+//!
+//! The [`StepDriver`] resumes step objects on a bounded worker pool (the
+//! same worker budget as the run-slot pool; step ranks never attach to
+//! the slot pool itself, so an idle pool remains fully claimable by
+//! [`Scheduler::borrow_workers`] during a capture). Wakeups reuse the
+//! event plumbing the thread representation already has: every mailbox
+//! deposit / collective completion and every checkpoint-control wake is
+//! routed — through the waker a world wires up from
+//! [`Scheduler::step_waker_for`] — to [`StepDriver::wake`], which moves a
+//! parked rank to the ready queue. The wake protocol is lost-wakeup-proof
+//! without tokens: a wake that lands while the rank is mid-step marks it
+//! `wake_pending`, and a step that returns `Yield(Event)` with the mark
+//! set requeues instead of parking. (Every event source in the system
+//! publishes its state *before* waking, so re-running the step observes
+//! whatever the wake announced.) As in the thread representation, idle
+//! driver workers park event-driven with a long counted backstop, so the
+//! zero-timed-wakeup contract is asserted for both representations by
+//! the same [`WakeupStats`] block.
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -132,7 +166,17 @@ pub struct Scheduler {
     cvs: Vec<Condvar>,
     /// Shared backstop-expiry accounting for this world's wait paths.
     stats: Arc<WakeupStats>,
+    /// Step-mode waker registry: installed by a [`StepDriver`] harness so
+    /// that every lower-half generation built on this scheduler — the
+    /// restart path creates fresh mailboxes mid-run — wires its event
+    /// sources back to the driver without the harness's involvement.
+    step_wake: Mutex<Option<StepWakeFn>>,
 }
+
+/// The step-mode wake routing installed via
+/// [`Scheduler::install_step_waker`]: `f(rank)` makes `rank` runnable on
+/// its driver.
+pub type StepWakeFn = Arc<dyn Fn(usize) + Send + Sync>;
 
 impl Scheduler {
     /// A scheduler for `n_ranks` ranks and `workers` run slots.
@@ -151,7 +195,24 @@ impl Scheduler {
             }),
             cvs: (0..n_ranks).map(|_| Condvar::new()).collect(),
             stats: Arc::new(WakeupStats::default()),
+            step_wake: Mutex::new(None),
         })
+    }
+
+    /// Installs the step-mode wake routing: `f(rank)` must make `rank`
+    /// runnable on the driver. Every world attached to this scheduler
+    /// after the call (including restart generations) wires its mailboxes
+    /// to it; the harness additionally wires checkpoint-control wake
+    /// slots. Installing replaces any previous routing.
+    pub fn install_step_waker(&self, f: StepWakeFn) {
+        *self.step_wake.lock() = Some(f);
+    }
+
+    /// A per-rank waker derived from the installed step-wake routing, or
+    /// `None` when this scheduler runs thread-representation ranks.
+    pub fn step_waker_for(&self, rank: usize) -> Option<Arc<dyn Fn() + Send + Sync>> {
+        let f = self.step_wake.lock().clone()?;
+        Some(Arc::new(move || f(rank)))
     }
 
     /// The shared wakeup-statistics block. The scheduler outlives every
@@ -314,6 +375,251 @@ impl std::fmt::Debug for Scheduler {
             .field("n_ranks", &self.cvs.len())
             .field("free", &st.free)
             .field("queued", &st.queue.len())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Step-function ranks
+// ---------------------------------------------------------------------
+
+/// What a step rank is waiting for when it yields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitReason {
+    /// An external event will arrive (mailbox deposit, collective
+    /// completion, checkpoint-control wake) and the event source wakes
+    /// this rank through its driver waker. The rank parks until then.
+    Event,
+    /// The rank is a self-driving poller (its own next step is the
+    /// productive path — e.g. a charged `MPI_Test` loop advancing its own
+    /// clock). The driver requeues it immediately at the tail, behind
+    /// every currently-ready rank.
+    Poll,
+}
+
+/// One resumption's outcome for a step rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The body reached a wait point; resume it again later.
+    Yield(WaitReason),
+    /// The body ran to completion; never step this rank again.
+    Done,
+}
+
+/// A rank body lowered to an explicit resumable state machine. Each
+/// [`RankStep::step`] call runs the body forward to its next wait point.
+/// The object *is* the rank's continuation: all state that a blocking
+/// body would keep on its stack lives in the implementor's fields.
+pub trait RankStep: Send {
+    /// Resumes the rank; returns how it stopped.
+    fn step(&mut self) -> Step;
+}
+
+/// Where one step rank currently stands with the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    /// Waiting for an event; not in the ready queue.
+    Parked,
+    /// In the ready queue awaiting a worker.
+    Queued,
+    /// A worker is inside this rank's `step()`. `wake_pending` records an
+    /// event that arrived mid-step, so a `Yield(Event)` return requeues
+    /// instead of parking (the lost-wakeup guard).
+    Running { wake_pending: bool },
+    /// `Done` was returned (or the body panicked); never resumed again.
+    Finished,
+}
+
+struct DriverCore {
+    ready: VecDeque<usize>,
+    run: Vec<RunState>,
+    /// Ranks not yet `Finished`.
+    live: usize,
+}
+
+/// Resumes [`RankStep`] objects on a bounded worker pool. See the module
+/// docs ("Step-function ranks") for the representation contract.
+///
+/// The driver holds only *wake state* (ready queue + per-rank run state);
+/// the step objects themselves are owned by [`StepDriver::run`]'s scope,
+/// which lets bodies borrow non-`'static` data while wakers installed
+/// into long-lived mailboxes stay `'static`.
+pub struct StepDriver {
+    state: Mutex<DriverCore>,
+    cv: Condvar,
+    stats: Arc<WakeupStats>,
+}
+
+/// Idle-worker backstop: how long a driver worker sleeps on an empty
+/// ready queue before sweeping every parked rank back into the queue.
+/// With complete waker coverage the sweep never finds anything to do —
+/// like every other backstop it is defense in depth against a lost
+/// wakeup, and a sweep that requeues parked ranks is counted in
+/// [`WakeupStats`] so the zero-timed-wakeup assertion covers the step
+/// representation too.
+const DRIVER_RESCUE: Duration = Duration::from_secs(1);
+
+impl StepDriver {
+    /// A driver for `n_ranks` step ranks, sharing `stats` with the wait
+    /// paths of the world(s) it will drive. All ranks start ready.
+    pub fn new(n_ranks: usize, stats: Arc<WakeupStats>) -> Arc<StepDriver> {
+        assert!(n_ranks > 0, "driver needs at least one rank");
+        Arc::new(StepDriver {
+            state: Mutex::new(DriverCore {
+                ready: (0..n_ranks).collect(),
+                run: vec![RunState::Queued; n_ranks],
+                live: n_ranks,
+            }),
+            cv: Condvar::new(),
+            stats,
+        })
+    }
+
+    /// Number of ranks this driver manages.
+    pub fn n_ranks(&self) -> usize {
+        self.state.lock().run.len()
+    }
+
+    /// Event-source hook: makes `rank` runnable. Parked → queued;
+    /// mid-step → `wake_pending` (requeued when its step yields); queued
+    /// or finished → no-op. Always safe, never blocks on rank state.
+    pub fn wake(&self, rank: usize) {
+        let mut st = self.state.lock();
+        match st.run[rank] {
+            RunState::Parked => {
+                st.run[rank] = RunState::Queued;
+                st.ready.push_back(rank);
+                self.cv.notify_one();
+            }
+            RunState::Running { .. } => {
+                st.run[rank] = RunState::Running { wake_pending: true };
+            }
+            RunState::Queued | RunState::Finished => {}
+        }
+    }
+
+    /// A `'static` waker for `rank`, suitable for installing into mailbox
+    /// and checkpoint-control wake slots.
+    pub fn waker(self: &Arc<Self>, rank: usize) -> Arc<dyn Fn() + Send + Sync> {
+        let d = Arc::clone(self);
+        Arc::new(move || d.wake(rank))
+    }
+
+    /// Runs every step object to completion on `workers` pool threads,
+    /// blocking the caller until all ranks are `Finished`. `objs[i]` is
+    /// rank `i`'s continuation. Panics from a body are re-raised on the
+    /// caller after the pool drains (the panicking rank is marked
+    /// `Finished`; peers blocked on it indefinitely will only make
+    /// rescue-sweep progress, as in the thread representation).
+    pub fn run<'a>(&self, workers: usize, objs: Vec<Box<dyn RankStep + 'a>>) {
+        let n = {
+            let st = self.state.lock();
+            st.run.len()
+        };
+        assert_eq!(objs.len(), n, "one step object per rank");
+        let workers = workers.max(1);
+        let slots: Vec<Mutex<Option<Box<dyn RankStep + 'a>>>> =
+            objs.into_iter().map(|o| Mutex::new(Some(o))).collect();
+        let panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| self.worker_loop(&slots, &panics));
+            }
+        });
+        if let Some(p) = panics.into_inner().into_iter().next() {
+            std::panic::resume_unwind(p);
+        }
+    }
+
+    fn worker_loop<'a>(
+        &self,
+        slots: &[Mutex<Option<Box<dyn RankStep + 'a>>>],
+        panics: &Mutex<Vec<Box<dyn std::any::Any + Send>>>,
+    ) {
+        loop {
+            let rank = {
+                let mut st = self.state.lock();
+                loop {
+                    if st.live == 0 {
+                        self.cv.notify_all();
+                        return;
+                    }
+                    if let Some(r) = st.ready.pop_front() {
+                        st.run[r] = RunState::Running {
+                            wake_pending: false,
+                        };
+                        break r;
+                    }
+                    let timed_out = self.cv.wait_for(&mut st, DRIVER_RESCUE).timed_out();
+                    if timed_out && st.ready.is_empty() && st.live > 0 {
+                        // Rescue sweep: requeue every parked rank so a
+                        // lost wakeup degrades to slow instead of hung.
+                        // One counted expiry per productive sweep.
+                        let mut any = false;
+                        for i in 0..st.run.len() {
+                            if st.run[i] == RunState::Parked {
+                                st.run[i] = RunState::Queued;
+                                st.ready.push_back(i);
+                                any = true;
+                            }
+                        }
+                        if any {
+                            self.stats.record_backstop_expiry();
+                            self.cv.notify_all();
+                        }
+                    }
+                }
+            };
+            // Exclusive by construction: only the worker that dequeued
+            // `rank` touches its slot until the step's outcome is filed.
+            let mut obj = slots[rank]
+                .lock()
+                .take()
+                .expect("queued rank has its object");
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| obj.step()));
+            *slots[rank].lock() = Some(obj);
+            let mut st = self.state.lock();
+            match outcome {
+                Err(payload) => {
+                    panics.lock().push(payload);
+                    st.run[rank] = RunState::Finished;
+                    st.live -= 1;
+                    if st.live == 0 {
+                        self.cv.notify_all();
+                    }
+                }
+                Ok(Step::Done) => {
+                    st.run[rank] = RunState::Finished;
+                    st.live -= 1;
+                    if st.live == 0 {
+                        self.cv.notify_all();
+                    }
+                }
+                Ok(Step::Yield(WaitReason::Poll)) => {
+                    st.run[rank] = RunState::Queued;
+                    st.ready.push_back(rank);
+                    self.cv.notify_one();
+                }
+                Ok(Step::Yield(WaitReason::Event)) => match st.run[rank] {
+                    RunState::Running { wake_pending: true } => {
+                        st.run[rank] = RunState::Queued;
+                        st.ready.push_back(rank);
+                        self.cv.notify_one();
+                    }
+                    _ => st.run[rank] = RunState::Parked,
+                },
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for StepDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("StepDriver")
+            .field("n_ranks", &st.run.len())
+            .field("ready", &st.ready.len())
+            .field("live", &st.live)
             .finish()
     }
 }
@@ -482,6 +788,103 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
         });
         t.join().unwrap();
+    }
+
+    #[test]
+    fn step_driver_runs_every_rank_to_done() {
+        struct Counter {
+            left: usize,
+            total: Arc<AtomicUsize>,
+        }
+        impl RankStep for Counter {
+            fn step(&mut self) -> Step {
+                if self.left == 0 {
+                    self.total.fetch_add(1, Ordering::SeqCst);
+                    Step::Done
+                } else {
+                    self.left -= 1;
+                    Step::Yield(WaitReason::Poll)
+                }
+            }
+        }
+        let stats = Arc::new(WakeupStats::default());
+        let d = StepDriver::new(8, Arc::clone(&stats));
+        let total = Arc::new(AtomicUsize::new(0));
+        let objs: Vec<Box<dyn RankStep>> = (0..8)
+            .map(|i| {
+                Box::new(Counter {
+                    left: i,
+                    total: Arc::clone(&total),
+                }) as Box<dyn RankStep>
+            })
+            .collect();
+        d.run(2, objs);
+        assert_eq!(total.load(Ordering::SeqCst), 8);
+        assert_eq!(stats.backstop_expiries(), 0, "poll yields never park");
+    }
+
+    #[test]
+    fn step_driver_event_wake_is_lost_wakeup_proof() {
+        // Rank 1 parks until rank 0 publishes a flag and wakes it. The
+        // publish-then-wake order is the system-wide contract; whichever
+        // side the race lands on (wake before park → wake_pending; wake
+        // after park → requeue) the consumer must finish without a
+        // rescue-sweep expiry.
+        struct Producer {
+            flag: Arc<AtomicUsize>,
+            wake_peer: Arc<dyn Fn() + Send + Sync>,
+        }
+        impl RankStep for Producer {
+            fn step(&mut self) -> Step {
+                self.flag.store(1, Ordering::SeqCst);
+                (self.wake_peer)();
+                Step::Done
+            }
+        }
+        struct Consumer {
+            flag: Arc<AtomicUsize>,
+        }
+        impl RankStep for Consumer {
+            fn step(&mut self) -> Step {
+                if self.flag.load(Ordering::SeqCst) == 0 {
+                    Step::Yield(WaitReason::Event)
+                } else {
+                    Step::Done
+                }
+            }
+        }
+        for _ in 0..50 {
+            let stats = Arc::new(WakeupStats::default());
+            let d = StepDriver::new(2, Arc::clone(&stats));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let objs: Vec<Box<dyn RankStep>> = vec![
+                Box::new(Producer {
+                    flag: Arc::clone(&flag),
+                    wake_peer: d.waker(1),
+                }),
+                Box::new(Consumer {
+                    flag: Arc::clone(&flag),
+                }),
+            ];
+            d.run(2, objs);
+            assert_eq!(flag.load(Ordering::SeqCst), 1);
+            assert_eq!(stats.backstop_expiries(), 0, "event wake must be direct");
+        }
+    }
+
+    #[test]
+    fn scheduler_step_waker_registry_routes_by_rank() {
+        let s = Scheduler::new(4, 2);
+        assert!(s.step_waker_for(0).is_none(), "thread mode: no routing");
+        let hits = Arc::new(Mutex::new(Vec::new()));
+        let h = Arc::clone(&hits);
+        s.install_step_waker(Arc::new(move |r| h.lock().push(r)));
+        let w2 = s.step_waker_for(2).expect("installed");
+        let w0 = s.step_waker_for(0).expect("installed");
+        w2();
+        w0();
+        w2();
+        assert_eq!(*hits.lock(), vec![2, 0, 2]);
     }
 
     #[test]

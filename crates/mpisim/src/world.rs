@@ -87,6 +87,12 @@ impl WorldConfig {
     }
 
     /// Overrides the per-rank thread stack size.
+    ///
+    /// **Closure-shim only.** Step-function ranks (see [`crate::sched`]'s
+    /// step-driver section) have no per-rank stack — their continuation is
+    /// a heap object — so this knob is meaningless there, and the step
+    /// runners reject a non-default value with a typed error rather than
+    /// silently ignoring it.
     pub fn with_stack_size(mut self, bytes: usize) -> Self {
         assert!(bytes > 0, "stack size must be positive");
         self.stack_size = bytes;
@@ -171,11 +177,24 @@ impl World {
                 epoch,
             }),
         );
+        let mailboxes: Vec<Arc<Mailbox>> = (0..cfg.n_ranks)
+            .map(|rank| {
+                let mb = Arc::new(Mailbox::new());
+                // Step-mode worlds route mailbox activity to the rank's
+                // step driver. The registry is per-scheduler, so restart
+                // generations built onto the same scheduler re-wire their
+                // fresh mailboxes automatically.
+                if let Some(w) = sched.step_waker_for(rank) {
+                    mb.set_waker(w);
+                }
+                mb
+            })
+            .collect();
         Arc::new(World {
             n_ranks: cfg.n_ranks,
             topo,
             params: Arc::new(cfg.params),
-            mailboxes: (0..cfg.n_ranks).map(|_| Arc::new(Mailbox::new())).collect(),
+            mailboxes,
             comms: RwLock::new(comms),
             split_registry: Mutex::new(HashMap::new()),
             next_comm: AtomicU64::new(1),
@@ -233,6 +252,20 @@ impl World {
     #[inline]
     pub(crate) fn mailbox(&self, rank: usize) -> &Mailbox {
         &self.mailboxes[rank]
+    }
+
+    /// Wires every mailbox to the scheduler's step-waker registry.
+    ///
+    /// Worlds built *after* [`Scheduler::install_step_waker`] (restart
+    /// generations through [`World::with_epoch_attached`]) get this wiring
+    /// automatically; a step runner calls it on the initial world, which
+    /// necessarily predates its driver.
+    pub fn install_step_wakers(&self) {
+        for (rank, mb) in self.mailboxes.iter().enumerate() {
+            if let Some(w) = self.sched.step_waker_for(rank) {
+                mb.set_waker(w);
+            }
+        }
     }
 
     /// Looks up a communicator by id.

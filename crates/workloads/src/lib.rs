@@ -7,14 +7,20 @@
 //!   and skewed compute. Deterministic results make it the substrate of
 //!   the safe-cut and bit-identical-restart harnesses.
 //! * [`kernels`] — SCF-style and halo-exchange mini-kernels for examples.
+//! * [`step`] — the same programs hand-lowered to resumable
+//!   [`ckpt::StepBody`] state machines for the heap-object rank
+//!   representation; call-for-call and draw-for-draw equivalent to the
+//!   closure forms.
 //! * [`demo`] — the quickstart checkpoint→restore→verify demonstration.
 
 pub mod demo;
 pub mod kernels;
 pub mod random;
 pub mod rng;
+pub mod step;
 
 pub use demo::{quickstart, QuickstartOutcome};
 pub use kernels::{bcast_pipeline, halo_exchange, scf_loop};
 pub use random::{random_workload, RandomWorkloadCfg};
 pub use rng::SplitMix64;
+pub use step::{BcastPipelineStep, HaloStep, RandomWorkloadStep, ScfStep};
