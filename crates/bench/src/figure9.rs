@@ -26,10 +26,14 @@
 //! `examples/figure9_bench.rs` writes the result to `BENCH_figure9.json`
 //! next to the protocol-comparison bench's `BENCH_protocols.json`.
 
-use crate::synth::synthetic_checkpoint;
-use ckpt::{run_ckpt_world, CkptOptions, ResumeMode};
+use crate::synth::{perturbed_checkpoint, synthetic_checkpoint};
+use ckpt::{
+    run_ckpt_world, CkptOptions, CkptTier, ImageSetLayout, PeriodicInterval, ResumeMode,
+    TierModels, TieredStore, Tiering,
+};
 use mpisim::{NetParams, Scheduler, VTime, WorldConfig};
 use netmodel::LustreModel;
+use std::sync::Arc;
 use std::time::Instant;
 use workloads::{random_workload, RandomWorkloadCfg};
 
@@ -92,6 +96,89 @@ impl Figure9CapturePoint {
     }
 }
 
+/// One cell of the storage-tier sweep: modeled write/read time for an
+/// image set landing on one [`CkptTier`], at one node count and one
+/// changed-rank ratio (the fraction of ranks a delta image would bill).
+#[derive(Debug, Clone)]
+pub struct Figure9TierPoint {
+    /// Tier name ("memory", "partner", "lustre").
+    pub tier: &'static str,
+    /// Fraction of ranks billed (1.0 = full image, 0.1 = 10%-changed delta).
+    pub changed_ratio: f64,
+    /// Node count.
+    pub nodes: usize,
+    /// Total ranks.
+    pub ranks: usize,
+    /// Total modeled image-set bytes at this ratio.
+    pub total_bytes: u64,
+    /// Modeled checkpoint (write) time, seconds.
+    pub write_s: f64,
+    /// Modeled restart (read) time, seconds.
+    pub read_s: f64,
+}
+
+/// The measured full-vs-delta cell: one synthetic image saved full, then
+/// a stable-state-perturbed successor saved as a delta against it, both
+/// through [`TieredStore`] — real serialized byte counts, not a model.
+#[derive(Debug, Clone)]
+pub struct Figure9DeltaPoint {
+    /// World size of both images.
+    pub ranks: usize,
+    /// Ranks whose *stable* state differs between parent and child.
+    pub changed_ranks: usize,
+    /// Serialized bytes of the full parent image.
+    pub full_bytes: usize,
+    /// Serialized bytes of the delta child image.
+    pub delta_bytes: usize,
+    /// `full_bytes / delta_bytes`.
+    pub shrink_factor: f64,
+    /// Chunks the delta carried inline (the rest deduplicated against
+    /// the parent's content-addressed chunk set).
+    pub delta_chunks: usize,
+}
+
+/// One committed checkpoint of the async-drain run, from
+/// [`ckpt::CkptRunReport::store_records`].
+#[derive(Debug, Clone)]
+pub struct Figure9DrainRecord {
+    /// Store generation number.
+    pub generation: u64,
+    /// Tier name.
+    pub tier: &'static str,
+    /// Modeled tier write time (virtual seconds).
+    pub modeled_write_s: f64,
+    /// Virtual back-pressure charged because the previous drain was
+    /// still in flight when this checkpoint fired.
+    pub backpressure_s: f64,
+    /// Host wall seconds of the app-visible blocking bracket.
+    pub blocking_wall_s: f64,
+    /// Host wall seconds the encode+write spent on the background drain.
+    pub overlapped_wall_s: f64,
+}
+
+/// The sync-vs-async drain comparison: the same workload and checkpoint
+/// schedule run twice against the same tiering, once draining images
+/// inside the capture bracket and once on background workers.
+#[derive(Debug, Clone)]
+pub struct Figure9DrainComparison {
+    /// World size.
+    pub ranks: usize,
+    /// Checkpoints committed in each run.
+    pub checkpoints: usize,
+    /// Virtual makespan with synchronous drains.
+    pub sync_makespan_s: f64,
+    /// Virtual makespan with asynchronous drains.
+    pub async_makespan_s: f64,
+    /// Summed app-visible capture wall time, synchronous run.
+    pub sync_blocking_wall_s: f64,
+    /// Summed app-visible capture wall time, asynchronous run —
+    /// clone-out only, the encode+write having moved to
+    /// [`Figure9DrainRecord::overlapped_wall_s`].
+    pub async_blocking_wall_s: f64,
+    /// Per-checkpoint storage accounting of the asynchronous run.
+    pub records: Vec<Figure9DrainRecord>,
+}
+
 /// The full Figure 9 result.
 #[derive(Debug, Clone)]
 pub struct Figure9Report {
@@ -101,6 +188,12 @@ pub struct Figure9Report {
     pub measured: Vec<Figure9MeasuredImage>,
     /// Capture-pipeline wall-time sweep, by world size.
     pub capture: Vec<Figure9CapturePoint>,
+    /// Storage-tier sweep cells, in (ratio, nodes, tier) order.
+    pub tiers: Vec<Figure9TierPoint>,
+    /// The measured full-vs-delta cell (absent when disabled).
+    pub delta: Option<Figure9DeltaPoint>,
+    /// The sync-vs-async drain comparison (absent when disabled).
+    pub drain: Option<Figure9DrainComparison>,
 }
 
 /// Sweep configuration.
@@ -120,6 +213,20 @@ pub struct Figure9Config {
     pub capture_ranks: Vec<usize>,
     /// Repetitions per capture-pipeline point; the minimum is reported.
     pub capture_reps: usize,
+    /// Changed-rank ratios for the storage-tier sweep (1.0 = full image;
+    /// empty disables the sweep).
+    pub tier_ratios: Vec<f64>,
+    /// World size of the measured full-vs-delta cell (0 disables).
+    pub delta_ranks: usize,
+    /// Perturbation stride of the delta cell: rank `i` changes stable
+    /// state iff `i % stride == 0`, so `ceil(ranks / stride)` ranks bill.
+    pub delta_stride: usize,
+    /// World size of the drain-comparison run (0 disables).
+    pub drain_ranks: usize,
+    /// Random-workload steps of the drain-comparison run.
+    pub drain_steps: usize,
+    /// Checkpoints taken during the drain-comparison run.
+    pub drain_ckpts: usize,
     /// The filesystem model.
     pub model: LustreModel,
 }
@@ -136,6 +243,12 @@ impl Default for Figure9Config {
             // The paper's top size through the beyond-paper tier.
             capture_ranks: vec![512, 1024, 2048, 4096],
             capture_reps: 5,
+            tier_ratios: vec![1.0, 0.25, 0.1],
+            delta_ranks: 4096,
+            delta_stride: 10,
+            drain_ranks: 8,
+            drain_steps: 40,
+            drain_ckpts: 2,
             model: LustreModel::perlmutter_scratch(),
         }
     }
@@ -187,11 +300,144 @@ pub fn figure9_report(cfg: &Figure9Config) -> Figure9Report {
     }
 
     let capture = capture_sweep(&cfg.capture_ranks, cfg.capture_reps);
+    let tiers = tier_sweep(&cfg.node_counts, cfg.ranks_per_node, &cfg.tier_ratios);
+    let delta = (cfg.delta_ranks > 0).then(|| delta_cell(cfg.delta_ranks, cfg.delta_stride));
+    let drain = (cfg.drain_ranks > 0)
+        .then(|| drain_comparison(cfg.drain_ranks, cfg.drain_steps, cfg.drain_ckpts));
 
     Figure9Report {
         model,
         measured,
         capture,
+        tiers,
+        delta,
+        drain,
+    }
+}
+
+/// The storage-tier sweep: for every (changed-rank ratio × node count)
+/// cell, the modeled write/read time of the billed image set on each of
+/// the three tiers under [`TierModels::perlmutter`]. A ratio below 1.0
+/// models a delta image that bills only the changed ranks' chunks.
+pub fn tier_sweep(
+    node_counts: &[usize],
+    ranks_per_node: usize,
+    ratios: &[f64],
+) -> Vec<Figure9TierPoint> {
+    let models = TierModels::perlmutter();
+    let mut out = Vec::new();
+    for &ratio in ratios {
+        for &nodes in node_counts {
+            let ranks = nodes * ranks_per_node;
+            let billed = ((ranks as f64) * ratio).ceil().max(1.0) as u64;
+            let total_bytes = billed * models.image_bytes_per_rank;
+            let layout = ImageSetLayout::packed(ranks, ranks_per_node, total_bytes);
+            for tier in [CkptTier::Memory, CkptTier::Partner, CkptTier::Lustre] {
+                out.push(Figure9TierPoint {
+                    tier: tier.name(),
+                    changed_ratio: ratio,
+                    nodes,
+                    ranks,
+                    total_bytes,
+                    write_s: models.write_secs(tier, &layout),
+                    read_s: models.read_secs(tier, &layout),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The measured full-vs-delta cell: serializes a synthetic `ranks`-rank
+/// image as a full generation, perturbs the stable state of every
+/// `stride`-th rank (volatile clocks advance on *all* ranks), and saves
+/// the successor as a delta against the parent through [`TieredStore`].
+///
+/// # Panics
+/// Panics if the store does not produce a delta chained to the parent.
+pub fn delta_cell(ranks: usize, stride: usize) -> Figure9DeltaPoint {
+    let workers = Scheduler::default_workers();
+    let store = TieredStore::default();
+    let parent = Arc::new(synthetic_checkpoint(ranks, 0xD5EED));
+    let child = Arc::new(perturbed_checkpoint(&parent, stride));
+    let full = store.save(CkptTier::Memory, Arc::clone(&parent), false, workers);
+    let delta = store.save(CkptTier::Memory, child, true, workers);
+    assert_eq!(
+        delta.delta_parent,
+        Some(full.generation),
+        "delta cell must chain to the full parent"
+    );
+    Figure9DeltaPoint {
+        ranks,
+        changed_ranks: ranks.div_ceil(stride),
+        full_bytes: full.bytes,
+        delta_bytes: delta.bytes,
+        shrink_factor: full.bytes as f64 / delta.bytes.max(1) as f64,
+        delta_chunks: delta.new_chunks,
+    }
+}
+
+/// The sync-vs-async drain comparison: the same random workload with the
+/// same periodic checkpoint schedule against memory-tier storage, once
+/// with synchronous drains (image encode+write inside the capture
+/// bracket, modeled write time charged to every rank) and once with the
+/// background drain (ranks resume after clone-out; only back-pressure is
+/// charged).
+pub fn drain_comparison(ranks: usize, steps: usize, ckpts: usize) -> Figure9DrainComparison {
+    let wcfg = || {
+        WorldConfig::multi_node(ranks, (ranks / 2).max(1))
+            .with_params(NetParams::slingshot11().without_jitter())
+    };
+    let wl = RandomWorkloadCfg::new(0xD8A1, steps);
+    let native = run_ckpt_world(wcfg(), CkptOptions::native(), |r| random_workload(&wl, r));
+    let interval = VTime::from_secs(native.makespan.as_secs() / (ckpts as f64 + 1.0));
+    // Paced so overdue triggers land before the workload finishes
+    // (virtual time and data are untouched by the wall pace).
+    let paced = wl.clone().with_pace_us(20);
+    let run_with = |async_drain: bool| {
+        let tiering = Tiering::fixed(CkptTier::Memory).with_async_drain(async_drain);
+        let rep = run_ckpt_world(
+            wcfg(),
+            CkptOptions::native()
+                .with_policy(PeriodicInterval::new(interval, ckpts))
+                .with_resume(ResumeMode::Continue)
+                .with_tiering(tiering),
+            |r| random_workload(&paced, r),
+        );
+        assert!(
+            rep.failures.is_empty(),
+            "drain-comparison checkpoint aborted: {:?}",
+            rep.failures
+        );
+        rep
+    };
+    let sync = run_with(false);
+    let asyn = run_with(true);
+    assert_eq!(
+        sync.store_records.len(),
+        asyn.store_records.len(),
+        "both drain runs must commit the same checkpoints"
+    );
+    let records = asyn
+        .store_records
+        .iter()
+        .map(|r| Figure9DrainRecord {
+            generation: r.generation,
+            tier: r.tier.name(),
+            modeled_write_s: r.modeled_write_s,
+            backpressure_s: r.backpressure_s,
+            blocking_wall_s: r.blocking_wall_s,
+            overlapped_wall_s: r.overlapped_wall_s,
+        })
+        .collect();
+    Figure9DrainComparison {
+        ranks,
+        checkpoints: asyn.store_records.len(),
+        sync_makespan_s: sync.makespan.as_secs(),
+        async_makespan_s: asyn.makespan.as_secs(),
+        sync_blocking_wall_s: sync.capture_wall_s.iter().sum(),
+        async_blocking_wall_s: asyn.capture_wall_s.iter().sum(),
+        records,
     }
 }
 
@@ -271,6 +517,141 @@ pub fn assert_figure9_capture_shape(points: &[Figure9CapturePoint]) {
     );
 }
 
+/// The storage-tier shape check, shared by the bench example and the
+/// tier-1 test: in **every** (changed-ratio × node count) cell the three
+/// tiers are present and strictly ordered — memory writes (and reads)
+/// cheaper than the partner replica, the partner cheaper than Lustre —
+/// and within a tier a smaller changed-ratio never costs more.
+///
+/// # Panics
+/// Panics when the shape is violated.
+pub fn assert_figure9_tier_order(points: &[Figure9TierPoint]) {
+    assert!(
+        !points.is_empty() && points.len().is_multiple_of(3),
+        "tier sweep must hold whole (memory, partner, lustre) cells, got {}",
+        points.len()
+    );
+    for cell in points.chunks(3) {
+        let [m, p, l] = cell else { unreachable!() };
+        assert_eq!(
+            [m.tier, p.tier, l.tier],
+            ["memory", "partner", "lustre"],
+            "cell tiers out of order"
+        );
+        assert!(
+            m.changed_ratio == p.changed_ratio
+                && p.changed_ratio == l.changed_ratio
+                && m.nodes == p.nodes
+                && p.nodes == l.nodes,
+            "cell mixes ratios or node counts"
+        );
+        assert!(
+            m.write_s < p.write_s && p.write_s < l.write_s,
+            "write cost must order memory < partner < lustre at ratio {} x {} nodes: \
+             {:.4}s / {:.4}s / {:.4}s",
+            m.changed_ratio,
+            m.nodes,
+            m.write_s,
+            p.write_s,
+            l.write_s
+        );
+        assert!(
+            m.read_s < p.read_s && p.read_s < l.read_s,
+            "read cost must order memory < partner < lustre at ratio {} x {} nodes",
+            m.changed_ratio,
+            m.nodes
+        );
+    }
+    // Within a tier at fixed node count, billing fewer ranks never
+    // costs more.
+    for a in points {
+        for b in points {
+            if a.tier == b.tier && a.nodes == b.nodes && a.changed_ratio < b.changed_ratio {
+                assert!(
+                    a.write_s <= b.write_s,
+                    "smaller delta ratio must not write slower: {} {}x ratio {} vs {}",
+                    a.tier,
+                    a.nodes,
+                    a.changed_ratio,
+                    b.changed_ratio
+                );
+            }
+        }
+    }
+}
+
+/// The incremental-image shape check: the delta cell changed under a
+/// quarter of the ranks and its serialized image is at least 5× smaller
+/// than the full parent.
+///
+/// # Panics
+/// Panics when the shape is violated.
+pub fn assert_figure9_delta_shape(d: &Figure9DeltaPoint) {
+    assert!(
+        d.changed_ranks * 4 < d.ranks,
+        "delta cell must change <25% of ranks: {}/{}",
+        d.changed_ranks,
+        d.ranks
+    );
+    assert!(
+        d.delta_bytes < d.full_bytes,
+        "delta must be smaller than its full parent: {} vs {}",
+        d.delta_bytes,
+        d.full_bytes
+    );
+    assert!(
+        d.shrink_factor >= 5.0,
+        "delta image must be >=5x smaller than the full parent with {}/{} ranks changed, \
+         got {:.2}x ({} B vs {} B)",
+        d.changed_ranks,
+        d.ranks,
+        d.shrink_factor,
+        d.delta_bytes,
+        d.full_bytes
+    );
+}
+
+/// The async-drain shape check: the background drain moved the image
+/// write off the app-visible path — the async run's virtual makespan
+/// beats the synchronous run's, and every committed checkpoint retired
+/// real encode+write work on the overlapped (background) component
+/// while its modeled write cost stayed positive.
+///
+/// # Panics
+/// Panics when the shape is violated.
+pub fn assert_figure9_drain_shape(d: &Figure9DrainComparison) {
+    assert!(
+        d.checkpoints > 0,
+        "drain comparison committed no checkpoints"
+    );
+    assert_eq!(d.records.len(), d.checkpoints);
+    assert!(
+        d.async_makespan_s < d.sync_makespan_s,
+        "async drain must shorten the virtual makespan: {:.4}s vs {:.4}s sync",
+        d.async_makespan_s,
+        d.sync_makespan_s
+    );
+    for r in &d.records {
+        assert!(
+            r.modeled_write_s > 0.0,
+            "gen {} stored nothing: modeled write {}",
+            r.generation,
+            r.modeled_write_s
+        );
+        assert!(
+            r.overlapped_wall_s > 0.0,
+            "gen {} drained nothing in the background: overlapped wall {}",
+            r.generation,
+            r.overlapped_wall_s
+        );
+        assert!(
+            r.backpressure_s >= 0.0 && r.blocking_wall_s >= 0.0,
+            "gen {} carries negative accounting",
+            r.generation
+        );
+    }
+}
+
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.9}")
@@ -334,11 +715,90 @@ pub fn figure9_to_json(report: &Figure9Report) -> String {
             )
         })
         .collect();
+    let tiers: Vec<String> = report
+        .tiers
+        .iter()
+        .map(|t| {
+            format!(
+                concat!(
+                    "    {{\"tier\":\"{}\",\"changed_ratio\":{},\"nodes\":{},\"ranks\":{},",
+                    "\"total_bytes\":{},\"write_s\":{},\"read_s\":{}}}"
+                ),
+                t.tier,
+                json_f64(t.changed_ratio),
+                t.nodes,
+                t.ranks,
+                t.total_bytes,
+                json_f64(t.write_s),
+                json_f64(t.read_s),
+            )
+        })
+        .collect();
+    let delta = match &report.delta {
+        Some(d) => format!(
+            concat!(
+                "{{\"ranks\":{},\"changed_ranks\":{},\"full_bytes\":{},",
+                "\"delta_bytes\":{},\"shrink_factor\":{},\"delta_chunks\":{}}}"
+            ),
+            d.ranks,
+            d.changed_ranks,
+            d.full_bytes,
+            d.delta_bytes,
+            json_f64(d.shrink_factor),
+            d.delta_chunks,
+        ),
+        None => "null".to_string(),
+    };
+    let drain = match &report.drain {
+        Some(d) => {
+            let recs: Vec<String> = d
+                .records
+                .iter()
+                .map(|r| {
+                    format!(
+                        concat!(
+                            "      {{\"generation\":{},\"tier\":\"{}\",\"modeled_write_s\":{},",
+                            "\"backpressure_s\":{},\"blocking_wall_s\":{},",
+                            "\"overlapped_wall_s\":{}}}"
+                        ),
+                        r.generation,
+                        r.tier,
+                        json_f64(r.modeled_write_s),
+                        json_f64(r.backpressure_s),
+                        json_f64(r.blocking_wall_s),
+                        json_f64(r.overlapped_wall_s),
+                    )
+                })
+                .collect();
+            format!(
+                concat!(
+                    "{{\"ranks\":{},\"checkpoints\":{},\"sync_makespan_s\":{},",
+                    "\"async_makespan_s\":{},\"sync_blocking_wall_s\":{},",
+                    "\"async_blocking_wall_s\":{},\"records\":[\n{}\n    ]}}"
+                ),
+                d.ranks,
+                d.checkpoints,
+                json_f64(d.sync_makespan_s),
+                json_f64(d.async_makespan_s),
+                json_f64(d.sync_blocking_wall_s),
+                json_f64(d.async_blocking_wall_s),
+                recs.join(",\n"),
+            )
+        }
+        None => "null".to_string(),
+    };
     format!(
-        "{{\n  \"model\": [\n{}\n  ],\n  \"measured\": [\n{}\n  ],\n  \"capture\": [\n{}\n  ]\n}}\n",
+        concat!(
+            "{{\n  \"model\": [\n{}\n  ],\n  \"measured\": [\n{}\n  ],\n",
+            "  \"capture\": [\n{}\n  ],\n  \"tiers\": [\n{}\n  ],\n",
+            "  \"delta\": {},\n  \"drain\": {}\n}}\n"
+        ),
         model.join(",\n"),
         measured.join(",\n"),
-        capture.join(",\n")
+        capture.join(",\n"),
+        tiers.join(",\n"),
+        delta,
+        drain
     )
 }
 
@@ -351,10 +811,14 @@ mod tests {
         let cfg = Figure9Config {
             measured_ranks: vec![], // model only; captures are covered below
             capture_ranks: vec![],
+            tier_ratios: vec![],
+            delta_ranks: 0,
+            drain_ranks: 0,
             ..Figure9Config::default()
         };
         let rep = figure9_report(&cfg);
         assert_eq!(rep.model.len(), 15);
+        assert!(rep.tiers.is_empty() && rep.delta.is_none() && rep.drain.is_none());
         // For each image size, checkpoint time never improves with node
         // count and grows over the full sweep — low node counts are
         // injection-limited (flat), then the shared aggregate bandwidth
@@ -395,6 +859,12 @@ mod tests {
             steps: 20,
             capture_ranks: vec![16, 32],
             capture_reps: 2,
+            tier_ratios: vec![1.0, 0.25],
+            delta_ranks: 64,
+            delta_stride: 8,
+            drain_ranks: 4,
+            drain_steps: 20,
+            drain_ckpts: 1,
             ..Figure9Config::default()
         };
         let rep = figure9_report(&cfg);
@@ -412,13 +882,50 @@ mod tests {
             );
         }
         assert_eq!(rep.capture.len(), 2);
+        // 2 ratios x 2 node counts x 3 tiers.
+        assert_eq!(rep.tiers.len(), 12);
+        assert!(rep.delta.is_some() && rep.drain.is_some());
         let json = figure9_to_json(&rep);
         assert!(json.contains("\"model\""));
         assert!(json.contains("\"measured\""));
         assert!(json.contains("\"capture\""));
         assert!(json.contains("\"capture_wall_s\""));
+        assert!(json.contains("\"tiers\""));
+        assert!(json.contains("\"shrink_factor\""));
+        assert!(json.contains("\"async_makespan_s\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    /// The ISSUE's tier-ordering gate: every (ratio x nodes) cell writes
+    /// and reads strictly cheaper on memory than partner, and on partner
+    /// than Lustre, across the full default sweep.
+    #[test]
+    fn tier_sweep_orders_memory_partner_lustre_in_every_cell() {
+        let points = tier_sweep(&[1, 2, 4, 8, 16], 128, &[1.0, 0.25, 0.1]);
+        assert_eq!(points.len(), 3 * 5 * 3);
+        assert_figure9_tier_order(&points);
+    }
+
+    /// The ISSUE's incremental-image gate: at 4096 ranks with ~10% of
+    /// ranks changed (volatile clocks advancing everywhere), the delta
+    /// image is >=5x smaller than its full parent.
+    #[test]
+    fn delta_cell_at_4096_ranks_shrinks_at_least_5x() {
+        let d = delta_cell(4096, 10);
+        assert_eq!(d.ranks, 4096);
+        assert_eq!(d.changed_ranks, 410);
+        assert_figure9_delta_shape(&d);
+    }
+
+    /// The ISSUE's async-drain gate: with the background drain the
+    /// app-visible stall is the clone-out only — the virtual makespan
+    /// drops below the synchronous run's and every checkpoint retires
+    /// its encode+write on the overlapped component.
+    #[test]
+    fn drain_comparison_moves_write_cost_off_the_blocking_path() {
+        let d = drain_comparison(8, 30, 2);
+        assert_figure9_drain_shape(&d);
     }
 
     /// The ISSUE's tier-1 flatness gate: per-rank encode wall time of the

@@ -29,10 +29,12 @@ pub use figure7::{
     figure7_cdf, figure7_report, figure7_to_json, Figure7CdfBucket, Figure7Config, Figure7Record,
 };
 pub use figure9::{
-    assert_figure9_capture_shape, capture_sweep, figure9_report, figure9_to_json,
-    Figure9CapturePoint, Figure9Config, Figure9Report,
+    assert_figure9_capture_shape, assert_figure9_delta_shape, assert_figure9_drain_shape,
+    assert_figure9_tier_order, capture_sweep, delta_cell, drain_comparison, figure9_report,
+    figure9_to_json, tier_sweep, Figure9CapturePoint, Figure9Config, Figure9DeltaPoint,
+    Figure9DrainComparison, Figure9DrainRecord, Figure9Report, Figure9TierPoint,
 };
-pub use synth::synthetic_checkpoint;
+pub use synth::{perturbed_checkpoint, synthetic_checkpoint};
 
 /// A workload in the protocol-comparison matrix. All are 2PC-compatible
 /// (no non-blocking collectives).

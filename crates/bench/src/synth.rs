@@ -215,6 +215,40 @@ pub fn synthetic_checkpoint(n_ranks: usize, seed: u64) -> Checkpoint {
     }
 }
 
+/// Returns a copy of `base` in which every `every`-th rank has *stable*
+/// state changes (call counters and a sequence-table bump) while **all**
+/// ranks get fresh volatile clocks. Delta encoding keys dedup on stable
+/// state only, so a delta built against `base` must re-serialize exactly
+/// `ceil(n_ranks / every)` rank chunks — the volatile churn on the other
+/// ranks rides in the per-rank volatile records, not in new chunks.
+///
+/// # Panics
+/// Panics if `every == 0`.
+pub fn perturbed_checkpoint(base: &Checkpoint, every: usize) -> Checkpoint {
+    assert!(every > 0, "perturbation stride must be positive");
+    let mut next = base.clone();
+    for (i, c) in next.captures.iter_mut().enumerate() {
+        // Volatile churn on every rank: clocks advance between any two
+        // checkpoints of a live run.
+        c.clock += 0.25 + i as f64 * 1e-7;
+        c.p2p_sent += 3;
+        c.p2p_delivered += 2;
+        if i % every == 0 {
+            // Stable churn on the selected ranks only.
+            c.counters.p2p_sends += 7;
+            c.counters.completions += 7;
+            let g_world = Ggid(0);
+            let seq = c.seq_table.seq(g_world) + 5;
+            let members = c
+                .seq_table
+                .members_shared(g_world)
+                .expect("synthetic captures register the world ggid");
+            c.seq_table.restore(g_world, seq, members);
+        }
+    }
+    next
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +262,24 @@ mod tests {
         assert_ne!(a.to_bytes(), c.to_bytes(), "seed must matter");
         let back = Checkpoint::from_bytes(&a.to_bytes()).expect("round trip");
         assert_eq!(back, a);
+    }
+
+    #[test]
+    fn perturbation_touches_all_clocks_but_few_stable_sections() {
+        let base = synthetic_checkpoint(40, 3);
+        let next = perturbed_checkpoint(&base, 10);
+        assert_eq!(next.n_ranks, base.n_ranks);
+        let mut stable_changed = 0;
+        for (a, b) in base.captures.iter().zip(&next.captures) {
+            assert!(b.clock > a.clock, "every rank's clock must advance");
+            if a.counters != b.counters || a.seq_table != b.seq_table {
+                stable_changed += 1;
+            }
+        }
+        assert_eq!(
+            stable_changed, 4,
+            "stride 10 over 40 ranks must change exactly 4 stable sections"
+        );
     }
 
     #[test]

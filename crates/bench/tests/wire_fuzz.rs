@@ -13,9 +13,22 @@
 //!   corruption reaches the structural decoder) must yield a typed error
 //!   or a well-formed image — never a panic, hang, or huge allocation;
 //! * appended **trailing garbage** must be rejected.
+//!
+//! The v4 **delta image** sections get the same treatment: flips inside
+//! content-addressed chunk bodies (checksum-repaired so they reach the
+//! chunk re-hash) are typed [`ImageError::DeltaChain`] rejections, a
+//! forged parent-generation word resolves to a typed chain error through
+//! [`TieredStore::load`] — dangling, cyclic, or checksum-mismatched,
+//! depending on where it points — and a chain whose root was evicted
+//! fails with [`ImageError::DanglingParent`]. Never a panic.
 
-use ckpt::{run_ckpt_world, Checkpoint, CkptOptions, ImageError, ResumeMode};
-use mpisim::{NetParams, VTime, WorldConfig};
+use bench::{perturbed_checkpoint, synthetic_checkpoint};
+use ckpt::{
+    run_ckpt_world, Checkpoint, CkptOptions, CkptTier, ImageError, ImagePayload, ResumeMode,
+    StoreError, TieredStore,
+};
+use mpisim::{NetParams, Scheduler, VTime, WorldConfig};
+use std::sync::Arc;
 use workloads::{random_workload, RandomWorkloadCfg, SplitMix64};
 
 use ckpt::image::{
@@ -240,6 +253,215 @@ fn section_ranges_agree_with_parallel_encoder_output() {
             bytes[ranges.last().unwrap().end..],
             b2[ranges.last().unwrap().end..]
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// v4 delta / chunk sections
+// ---------------------------------------------------------------------
+
+/// Delta payload layout: kind byte, then `generation` and
+/// `parent_generation` as little-endian u64 words (see
+/// `DeltaImage::enc_head`).
+const DELTA_GEN_OFFSET: usize = HEADER + 1;
+const DELTA_PARENT_OFFSET: usize = HEADER + 9;
+
+/// A store holding a three-element chain — full root (gen 0) plus two
+/// chained deltas (gens 1, 2) over perturbed synthetic images — and the
+/// leaf delta's serialized bytes.
+fn delta_chain_store() -> (TieredStore, Vec<u8>) {
+    let store = TieredStore::default();
+    let workers = Scheduler::default_workers();
+    let root = Arc::new(synthetic_checkpoint(24, 0xFA22));
+    let mid = Arc::new(perturbed_checkpoint(&root, 5));
+    let leaf = Arc::new(perturbed_checkpoint(&mid, 7));
+    let r0 = store.save(CkptTier::Lustre, root, false, workers);
+    let r1 = store.save(CkptTier::Lustre, mid, true, workers);
+    let r2 = store.save(CkptTier::Lustre, Arc::clone(&leaf), true, workers);
+    assert_eq!((r0.generation, r1.generation, r2.generation), (0, 1, 2));
+    assert_eq!(r2.delta_parent, Some(1));
+    let bytes = store
+        .backend(CkptTier::Lustre)
+        .get(2)
+        .expect("leaf delta bytes");
+    (store, bytes)
+}
+
+/// Decodes an either-kind image under a panic guard.
+fn decode_payload_no_panic(buf: &[u8], what: &str) -> Result<ImagePayload, ImageError> {
+    std::panic::catch_unwind(|| ImagePayload::from_bytes(buf))
+        .unwrap_or_else(|_| panic!("payload decoder panicked on {what}"))
+}
+
+/// Flips inside a delta's inline chunk bodies — first, last, and interior
+/// bytes of every content window [`ckpt::DeltaImage::chunk_byte_ranges`]
+/// advertises, plus the hash word in front of each — with the header
+/// checksum repaired, so the corruption reaches the per-chunk re-hash.
+/// Every one must be a typed [`ImageError::DeltaChain`], never a panic
+/// and never a silently-poisoned chunk.
+#[test]
+fn delta_chunk_content_flips_are_typed_chain_errors() {
+    let (_store, bytes) = delta_chain_store();
+    let delta = match decode_payload_no_panic(&bytes, "pristine delta") {
+        Ok(ImagePayload::Delta(d)) => d,
+        other => panic!("expected a delta image, got {other:?}"),
+    };
+    let ranges = delta.chunk_byte_ranges();
+    assert!(
+        !ranges.is_empty(),
+        "a perturbed child must carry inline chunks"
+    );
+    assert!(ranges
+        .iter()
+        .all(|r| r.end <= bytes.len() && r.start < r.end));
+
+    let mut rng = SplitMix64::new(0xC41B);
+    for (i, r) in ranges.iter().enumerate() {
+        let mid = r.start + (r.end - r.start) / 2;
+        // The 16 bytes before the content are the chunk's `(hash, len)`
+        // address words; flipping the hash word must mismatch the body.
+        for pos in [r.start, mid, r.end - 1, r.start - 16] {
+            let flip = 1u8 << rng.next_range(8);
+            let mut m = bytes.clone();
+            m[pos] ^= flip;
+            fix_checksum(&mut m);
+            let res = decode_payload_no_panic(&m, &format!("chunk {i} flip at {pos}"));
+            assert!(
+                matches!(
+                    res,
+                    Err(ImageError::DeltaChain(_)) | Err(ImageError::Malformed(_))
+                ),
+                "chunk {i} flip at byte {pos} must fail typed, got {res:?}"
+            );
+        }
+    }
+}
+
+/// Truncations of a delta image at every header-adjacent prefix and a
+/// seed-driven sample across the payload are typed errors.
+#[test]
+fn delta_truncations_are_always_rejected() {
+    let (_store, bytes) = delta_chain_store();
+    let mut rng = SplitMix64::new(0x7D17);
+    let mut lens: Vec<usize> = (0..HEADER + 16).collect();
+    for _ in 0..120 {
+        lens.push(rng.next_range(bytes.len() as u64) as usize);
+    }
+    lens.push(bytes.len() - 1);
+    for len in lens {
+        let r = decode_payload_no_panic(&bytes[..len], &format!("delta truncation to {len}"));
+        assert!(r.is_err(), "delta truncated to {len} bytes was accepted");
+    }
+}
+
+/// Checksum-repaired flips across the delta *head* (everything before the
+/// first inline chunk: generation words, origin, target maps, volatile
+/// records, chunk refs) never panic — they decode to a typed error or to
+/// a shape-consistent delta.
+#[test]
+fn delta_head_repaired_flips_never_panic() {
+    let (_store, bytes) = delta_chain_store();
+    let delta = match ImagePayload::from_bytes(&bytes) {
+        Ok(ImagePayload::Delta(d)) => d,
+        other => panic!("expected a delta image, got {other:?}"),
+    };
+    let head_end = delta
+        .chunk_byte_ranges()
+        .first()
+        .map_or(bytes.len(), |r| r.start - 16);
+    let mut rng = SplitMix64::new(0xD317);
+    for _ in 0..400 {
+        let pos = HEADER + rng.next_range((head_end - HEADER) as u64) as usize;
+        let flip = 1u8 << rng.next_range(8);
+        let mut m = bytes.clone();
+        m[pos] ^= flip;
+        fix_checksum(&mut m);
+        if let Ok(ImagePayload::Delta(d)) =
+            decode_payload_no_panic(&m, &format!("delta head flip at {pos}"))
+        {
+            assert_eq!(
+                d.n_ranks, delta.n_ranks,
+                "head flip at {pos} changed the world shape"
+            );
+            assert_eq!(d.volatile.len(), d.n_ranks);
+            assert_eq!(d.rank_refs.len(), d.n_ranks);
+        }
+    }
+}
+
+/// Forged parent-generation words, patched into the stored bytes with the
+/// checksum repaired, resolve to typed chain errors through
+/// [`TieredStore::load`]: a parent that does not predate the child is a
+/// cycle guard rejection, and a ref re-aimed at a *different* real
+/// ancestor trips the parent-checksum fingerprint. A patched generation
+/// word likewise fails the stored-generation cross-check.
+#[test]
+fn forged_delta_parent_refs_are_typed_chain_errors() {
+    let (store, bytes) = delta_chain_store();
+    let patch = |offset: usize, v: u64| {
+        let mut m = bytes.clone();
+        m[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
+        fix_checksum(&mut m);
+        store.backend(CkptTier::Lustre).put(2, m, 1);
+        let res = std::panic::catch_unwind(|| store.load(2))
+            .unwrap_or_else(|_| panic!("store.load panicked on patched word at {offset}"));
+        store.backend(CkptTier::Lustre).put(2, bytes.clone(), 1);
+        res
+    };
+
+    // Parent points at the leaf's own (or a later) generation: the
+    // not-older guard refuses before the walk can cycle.
+    match patch(DELTA_PARENT_OFFSET, 2) {
+        Err(StoreError::Image(ImageError::DeltaChain(what))) => {
+            assert_eq!(what, "parent generation not older")
+        }
+        other => panic!("self-parent must be a typed chain error, got {other:?}"),
+    }
+
+    // Parent re-aimed at the full root (a real, older, *wrong* ancestor):
+    // the delta's stored parent-checksum fingerprint catches the switch.
+    match patch(DELTA_PARENT_OFFSET, 0) {
+        Err(StoreError::Image(ImageError::DeltaChain(what))) => {
+            assert_eq!(what, "parent checksum mismatch")
+        }
+        other => panic!("re-aimed parent must be a typed chain error, got {other:?}"),
+    }
+
+    // The generation word itself disagreeing with the stored slot.
+    match patch(DELTA_GEN_OFFSET, 9) {
+        Err(StoreError::Image(ImageError::DeltaChain(what))) => {
+            assert_eq!(what, "stored generation mismatch")
+        }
+        other => panic!("forged generation must be a typed chain error, got {other:?}"),
+    }
+
+    // A flip *without* checksum repair never reaches the chain walk: the
+    // header integrity check rejects it first.
+    let mut m = bytes.clone();
+    m[DELTA_PARENT_OFFSET] ^= 0x40;
+    store.backend(CkptTier::Lustre).put(2, m, 1);
+    match store.load(2) {
+        Err(StoreError::Image(ImageError::ChecksumMismatch)) => {}
+        other => panic!("unrepaired flip must fail the checksum, got {other:?}"),
+    }
+    store.backend(CkptTier::Lustre).put(2, bytes, 1);
+    store.load(2).expect("restored pristine bytes load again");
+}
+
+/// Evicting the chain's *root* truncates every descendant: the leaf's
+/// load fails with a typed [`ImageError::DanglingParent`] naming the
+/// broken edge (the mid delta's ref to the vanished root), never a panic
+/// or a wrong resolution.
+#[test]
+fn evicted_chain_root_is_a_typed_dangling_parent() {
+    let (store, _bytes) = delta_chain_store();
+    store.evict(0);
+    match store.load(2) {
+        Err(StoreError::Image(ImageError::DanglingParent { generation, parent })) => {
+            assert_eq!(generation, 1, "the mid delta holds the broken ref");
+            assert_eq!(parent, 0, "the evicted root is the missing parent");
+        }
+        other => panic!("evicted root must dangle the chain, got {other:?}"),
     }
 }
 

@@ -18,8 +18,9 @@
 //! the coordinator returns a typed [`DrainError::P2pStall`] instead of
 //! hanging — the request is withdrawn and the application continues.
 
-use crate::image::{CaptureOrigin, Checkpoint, DrainedMsg};
+use crate::image::{stable_state_eq, CaptureOrigin, Checkpoint, DrainedMsg};
 use crate::session::Session;
+use crate::store::{CkptTier, ImageSetLayout, StoreRecord, TieredStore, Tiering};
 use mana_core::{CkptPhase, DrainEvent, Ggid, Protocol, RankCtl, RankState, RuntimeCapture};
 use mpisim::msg::InFlightMsg;
 use mpisim::types::CommId;
@@ -165,10 +166,22 @@ impl std::error::Error for DrainError {}
 pub struct Coordinator {
     sh: Arc<Session>,
     storage: Option<StorageSpec>,
+    tiering: Option<Tiering>,
     stall_timeout: Duration,
     /// Wall-clock seconds of each committed capture bracket (capture-phase
     /// entry through in-flight drain and accounting), in commit order.
     capture_walls: Mutex<Vec<f64>>,
+    /// Virtual second the in-progress (or last) background drain lands:
+    /// the back-pressure clock. A trigger firing before this point charges
+    /// the remainder to every rank.
+    drain_busy_until: Mutex<f64>,
+    /// The in-flight background drain, if any. The next capture bracket
+    /// (and [`Coordinator::flush_drains`]) joins it.
+    pending_drain: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Per-committed-checkpoint storage accounting of a tiered run, in
+    /// commit order; shared with the background drain threads, which fill
+    /// the serialized-bytes/overlap fields when their image lands.
+    store_records: Arc<Mutex<Vec<StoreRecord>>>,
 }
 
 impl Coordinator {
@@ -177,8 +190,12 @@ impl Coordinator {
         Coordinator {
             sh,
             storage: None,
+            tiering: None,
             stall_timeout: DEFAULT_STALL_TIMEOUT,
             capture_walls: Mutex::new(Vec::new()),
+            drain_busy_until: Mutex::new(0.0),
+            pending_drain: Mutex::new(None),
+            store_records: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -190,10 +207,53 @@ impl Coordinator {
         self.capture_walls.lock().clone()
     }
 
+    /// Per-committed-checkpoint storage records of a tiered run (empty
+    /// otherwise), in commit order. Call [`Coordinator::flush_drains`]
+    /// first — a still-running background drain has not filled its
+    /// record's serialized-bytes and overlap fields yet.
+    pub fn store_record_history(&self) -> Vec<StoreRecord> {
+        self.store_records.lock().clone()
+    }
+
+    /// Host wall seconds of encode+write retired off the critical path per
+    /// committed checkpoint of a tiered run (zero entries for synchronous
+    /// drains), aligned with [`Coordinator::store_record_history`].
+    pub fn capture_overlap_history(&self) -> Vec<f64> {
+        self.store_records
+            .lock()
+            .iter()
+            .map(|r| r.overlapped_wall_s)
+            .collect()
+    }
+
+    /// Joins the in-flight background drain, if any. Supervision calls
+    /// this before reading histories; the run must not end with an image
+    /// still in flight.
+    pub fn flush_drains(&self) {
+        self.join_pending_drain();
+    }
+
+    fn join_pending_drain(&self) {
+        let handle = self.pending_drain.lock().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+
     /// Attaches a storage model: image I/O is charged to the ranks'
     /// virtual clocks at resume.
     pub fn with_storage(mut self, storage: Option<StorageSpec>) -> Self {
         self.storage = storage;
+        self
+    }
+
+    /// Attaches tiered storage: every committed checkpoint is serialized
+    /// into the [`TieredStore`] per its schedule and delta policy, and the
+    /// modeled tier cost (or just the back-pressure, under the async
+    /// drain) is charged to the virtual clocks. Takes precedence over
+    /// [`Coordinator::with_storage`].
+    pub fn with_tiering(mut self, tiering: Option<Tiering>) -> Self {
+        self.tiering = tiering;
         self
     }
 
@@ -399,16 +459,44 @@ impl Coordinator {
             }
         }
 
-        // The capture bracket ends here: state cloned, in-flight messages
-        // drained and accounted. What follows is cost modeling and resume.
-        let capture_wall_s = capture_t0.elapsed().as_secs_f64();
+        // The state-clone half of the bracket ends here. What follows —
+        // storage planning, the hand-off to the drain (including any wait
+        // for the *previous* background drain), and for synchronous drains
+        // the encode+write itself — stays inside the blocking bracket; the
+        // wall clock stops only once the drain is handed off.
 
         // Storage: a checkpoint writes every live rank's image in parallel;
-        // a restart reads them back. The cost lands on the virtual clocks
-        // at resume.
-        let (io_write_secs, io_read_secs) =
-            self.io_times(mode, control.n_ranks, &in_flight, &captures);
-        let charge_ns = ((io_write_secs + io_read_secs) * 1e9) as u64;
+        // a restart reads them back. The modeled cost lands on the virtual
+        // clocks at resume. A tiered store plans per generation (tier,
+        // full-vs-delta, sync-vs-background); the legacy StorageSpec path
+        // charges the flat Lustre pipeline.
+        let (io_write_secs, io_read_secs, charge_secs, tier_plan) = match &self.tiering {
+            Some(t) => {
+                // Back-pressure rule, wall side: if the previous image has
+                // not landed when this trigger fires, the world waits for
+                // it here, inside the blocking bracket.
+                self.join_pending_drain();
+                let plan = self.plan_tier_write(t, mode, &in_flight, &captures);
+                let r = plan.modeled_read_s;
+                (
+                    plan.modeled_write_s,
+                    r,
+                    if plan.sync {
+                        plan.modeled_write_s + r
+                    } else {
+                        // Ranks pay only the virtual back-pressure; the
+                        // write itself retires behind their backs.
+                        plan.backpressure_s + r
+                    },
+                    Some(plan),
+                )
+            }
+            None => {
+                let (w, r) = self.io_times(mode, control.n_ranks, &in_flight, &captures);
+                (w, r, w + r, None)
+            }
+        };
+        let charge_ns = (charge_secs * 1e9) as u64;
         if charge_ns > 0 {
             for rc in &control.ranks {
                 if rc.state() != RankState::Finished {
@@ -417,7 +505,7 @@ impl Coordinator {
             }
         }
 
-        let ckpt = Checkpoint {
+        let ckpt = Arc::new(Checkpoint {
             epoch: world.epoch,
             n_ranks: control.n_ranks,
             protocol: sh.protocol,
@@ -434,9 +522,73 @@ impl Coordinator {
             cut_events,
             io_write_secs,
             io_read_secs,
-        };
+        });
         sh.trace.push(DrainEvent::Committed);
+
+        // Execute the storage plan. Synchronous drains retire here, while
+        // every rank is still parked and the whole worker pool is idle;
+        // the background drain spawns its thread and the ranks resume
+        // under it, with encode+write stealing only free scheduler slots.
+        let record_idx = tier_plan.map(|plan| {
+            let idx = {
+                let mut rs = self.store_records.lock();
+                rs.push(StoreRecord {
+                    generation: plan.generation,
+                    tier: plan.tier,
+                    delta_parent: None,
+                    changed_ranks: plan.changed_ranks,
+                    serialized_bytes: 0,
+                    modeled_write_s: plan.modeled_write_s,
+                    backpressure_s: plan.backpressure_s,
+                    blocking_wall_s: 0.0,
+                    overlapped_wall_s: 0.0,
+                });
+                rs.len() - 1
+            };
+            let sched = Arc::clone(world.scheduler());
+            let records = Arc::clone(&self.store_records);
+            let image = Arc::clone(&ckpt);
+            let TierPlan {
+                store,
+                tier,
+                want_delta,
+                sync,
+                ..
+            } = plan;
+            if sync {
+                let receipt =
+                    sched.borrow_workers(|k| store.save(tier, Arc::clone(&image), want_delta, k));
+                let mut rs = records.lock();
+                rs[idx].generation = receipt.generation;
+                rs[idx].delta_parent = receipt.delta_parent;
+                rs[idx].serialized_bytes = receipt.bytes;
+            } else {
+                let handle = std::thread::Builder::new()
+                    .name("ckpt-drain".into())
+                    .spawn(move || {
+                        let t0 = Instant::now();
+                        let receipt =
+                            sched.borrow_workers(|k| store.save(tier, image, want_delta, k));
+                        let overlapped = t0.elapsed().as_secs_f64();
+                        let mut rs = records.lock();
+                        rs[idx].generation = receipt.generation;
+                        rs[idx].delta_parent = receipt.delta_parent;
+                        rs[idx].serialized_bytes = receipt.bytes;
+                        rs[idx].overlapped_wall_s = overlapped;
+                    })
+                    .expect("spawn checkpoint drain thread");
+                *self.pending_drain.lock() = Some(handle);
+            }
+            idx
+        });
+
+        // The blocking bracket ends here: state cloned, messages drained
+        // and accounted, storage handed off.
+        let capture_wall_s = capture_t0.elapsed().as_secs_f64();
         self.capture_walls.lock().push(capture_wall_s);
+        if let Some(idx) = record_idx {
+            self.store_records.lock()[idx].blocking_wall_s = capture_wall_s;
+        }
 
         // Resume.
         match mode {
@@ -450,7 +602,93 @@ impl Coordinator {
         }
         self.release_quiesced_ranks();
         sh.trace.push(DrainEvent::Resumed);
-        Ok(ckpt)
+        Ok(Arc::try_unwrap(ckpt).unwrap_or_else(|arc| (*arc).clone()))
+    }
+
+    /// Plans one tiered write while the world is quiesced: the tier and
+    /// image kind for this generation, the modeled cost against the tier
+    /// models, and the sync-vs-background decision with its virtual
+    /// back-pressure charge.
+    fn plan_tier_write(
+        &self,
+        t: &Tiering,
+        mode: ResumeMode,
+        in_flight: &[DrainedMsg],
+        captures: &[RuntimeCapture],
+    ) -> TierPlan {
+        let n_ranks = captures.len();
+        let store = Arc::clone(&t.store);
+        let generation = store.next_generation();
+        let tier = t.schedule.tier_for(generation);
+        let parent = store.latest();
+        let same_shape = parent.as_ref().is_some_and(|(_, p)| p.n_ranks == n_ranks);
+        let want_delta = t.delta.wants_delta(generation) && same_shape;
+        // How many ranks' restart-stable state moved since the parent
+        // generation — what a delta image actually has to carry.
+        let changed_ranks = match &parent {
+            Some((_, p)) if same_shape => captures
+                .iter()
+                .zip(p.captures.iter())
+                .filter(|(a, b)| !stable_state_eq(a, b))
+                .count(),
+            _ => n_ranks,
+        };
+        let billed_ranks = if want_delta {
+            changed_ranks.max(1)
+        } else {
+            n_ranks
+        };
+        let dynamic: u64 = in_flight
+            .iter()
+            .map(|d| d.saved.payload.len() as u64)
+            .sum::<u64>()
+            + captures
+                .iter()
+                .map(|c| 64 * (c.comm_log.len() + c.pending_recvs.len()) as u64)
+                .sum::<u64>();
+        let models = store.models();
+        let total_bytes = models.image_bytes_per_rank * billed_ranks as u64 + dynamic;
+        let layout = ImageSetLayout::packed(
+            n_ranks.max(1),
+            self.sh.cfg.ranks_per_node.max(1),
+            total_bytes,
+        );
+        // Encode is tier-independent: the same memory walk feeds every
+        // backend, parallel across the worker pool.
+        let encode = models
+            .lustre
+            .encode_time(layout.bytes_per_node(), self.sh.cfg.resolved_workers());
+        let modeled_write_s = encode + models.write_secs(tier, &layout);
+        let modeled_read_s = match mode {
+            ResumeMode::Restart => models.read_secs(tier, &layout),
+            ResumeMode::Continue => 0.0,
+        };
+        // Restart always drains synchronously: the world is down while the
+        // image writes; there is no application to overlap with.
+        let sync = !t.async_drain || mode == ResumeMode::Restart;
+        let backpressure_s = if sync {
+            0.0
+        } else {
+            // Back-pressure rule, virtual side: a trigger firing before
+            // the previous drain's modeled landing point pays the
+            // remainder; then this drain occupies the next write window.
+            let now_v = self.sh.control.min_clock_secs();
+            let mut busy = self.drain_busy_until.lock();
+            let bp = (*busy - now_v).max(0.0);
+            *busy = busy.max(now_v) + modeled_write_s;
+            bp
+        };
+        TierPlan {
+            store,
+            tier,
+            generation,
+            want_delta,
+            changed_ranks,
+            modeled_write_s,
+            modeled_read_s,
+            backpressure_s,
+            sync,
+        }
     }
 
     /// Releases every quiesced rank back into the application and tears
@@ -636,6 +874,10 @@ impl Coordinator {
             rc.updates_recv.store(0, SeqCst);
         }
         self.sh.bus.clear_all();
+        // The aborted attempt consumed this epoch: ranks that installed
+        // its targets key their staleness check on the epoch, so the next
+        // request must open under a fresh one.
+        control.ckpt_epoch.fetch_add(1, SeqCst);
         DrainError::P2pStall { stalled }
     }
 
@@ -670,6 +912,20 @@ impl Coordinator {
             && self.sh.bus.all_empty()
             && !control.any_in_collective()
     }
+}
+
+/// One tiered write, planned at the quiesce and executed by the drain
+/// (inline while parked, or on the background thread).
+struct TierPlan {
+    store: Arc<TieredStore>,
+    tier: CkptTier,
+    generation: u64,
+    want_delta: bool,
+    changed_ranks: usize,
+    modeled_write_s: f64,
+    modeled_read_s: f64,
+    backpressure_s: f64,
+    sync: bool,
 }
 
 /// Clones every rank's published capture out of its control slot, fanning

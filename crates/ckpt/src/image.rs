@@ -35,7 +35,19 @@ pub const IMAGE_MAGIC: [u8; 8] = *b"MANACKPT";
 /// `(start, len)` instead of one word per member, which keeps image size
 /// O(ranks) instead of O(ranks²) — at 65 536 ranks the explicit form
 /// would cost ~0.5 MiB *per rank* for the world list alone.
-pub const IMAGE_VERSION: u32 = 3;
+/// Version 4 opens the payload with a kind byte — [`IMAGE_KIND_FULL`] for
+/// a self-contained image, [`IMAGE_KIND_DELTA`] for an incremental image
+/// that references a parent generation — and regroups each rank section
+/// into a volatile half (state, clock, barrier, flow counts) followed by
+/// the restart-stable half that delta images dedup by content hash.
+pub const IMAGE_VERSION: u32 = 4;
+
+/// Payload kind byte of a self-contained (full) image.
+pub const IMAGE_KIND_FULL: u8 = 0;
+
+/// Payload kind byte of an incremental (delta) image; see
+/// [`crate::store::DeltaImage`].
+pub const IMAGE_KIND_DELTA: u8 = 1;
 
 /// Byte offset of the header's `u32` format-version word.
 pub const IMAGE_VERSION_OFFSET: usize = IMAGE_MAGIC.len();
@@ -67,8 +79,25 @@ pub enum ImageError {
     ChecksumMismatch,
     /// The payload decoded inconsistently; names the field that failed.
     Malformed(&'static str),
-    /// Reading or writing the image file failed.
-    Io(String),
+    /// A delta image references a parent generation that is not available
+    /// — a truncated or mis-retained chain.
+    DanglingParent {
+        /// Generation of the delta that made the reference.
+        generation: u64,
+        /// The missing parent generation.
+        parent: u64,
+    },
+    /// A delta chain could not be resolved back to a full image; names the
+    /// link that failed.
+    DeltaChain(&'static str),
+    /// Reading or writing the image file failed; carries the path and the
+    /// underlying OS error so the caller can tell *which* file broke.
+    Io {
+        /// Path of the file that failed.
+        path: String,
+        /// The underlying I/O error, rendered.
+        source: String,
+    },
 }
 
 impl std::fmt::Display for ImageError {
@@ -86,7 +115,16 @@ impl std::fmt::Display for ImageError {
             }
             ImageError::ChecksumMismatch => write!(f, "image checksum mismatch (corrupted)"),
             ImageError::Malformed(what) => write!(f, "malformed image: bad {what}"),
-            ImageError::Io(e) => write!(f, "image I/O failed: {e}"),
+            ImageError::DanglingParent { generation, parent } => write!(
+                f,
+                "delta generation {generation} references missing parent generation {parent}"
+            ),
+            ImageError::DeltaChain(what) => {
+                write!(f, "delta chain could not be resolved: {what}")
+            }
+            ImageError::Io { path, source } => {
+                write!(f, "image I/O failed for {path}: {source}")
+            }
         }
     }
 }
@@ -210,6 +248,7 @@ impl Checkpoint {
     /// including the capture count. Shared by the counting pass (exact
     /// pre-sizing) and the write pass, so the two can never disagree.
     fn enc_payload_prefix<W: Wr>(&self, p: &mut W) {
+        p.u8(IMAGE_KIND_FULL);
         p.u64(self.epoch);
         p.usize(self.n_ranks);
         p.u8(protocol_code(self.protocol));
@@ -313,51 +352,22 @@ impl Checkpoint {
     }
 
     /// Parses a serialized image, validating magic, version, length, and
-    /// checksum before touching the payload.
+    /// checksum before touching the payload. Only accepts a *full* image;
+    /// a delta payload is rejected with [`ImageError::DeltaChain`] — it
+    /// must be resolved through its store and parent chain
+    /// ([`crate::store::TieredStore::load`]).
     pub fn from_bytes(buf: &[u8]) -> Result<Checkpoint, ImageError> {
-        const HEADER: usize = IMAGE_HEADER_LEN;
-        if buf.len() < HEADER {
-            if !buf.starts_with(&IMAGE_MAGIC[..buf.len().min(8)]) {
-                return Err(ImageError::BadMagic);
-            }
-            return Err(ImageError::Truncated {
-                expected: HEADER,
-                got: buf.len(),
-            });
-        }
-        if buf[..8] != IMAGE_MAGIC {
-            return Err(ImageError::BadMagic);
-        }
-        let mut h = Dec::new(&buf[8..HEADER]);
-        let version = h.u32("version").expect("sized above");
-        if version != IMAGE_VERSION {
-            return Err(ImageError::UnsupportedVersion(version));
-        }
-        let payload_len = h.usize("payload length").expect("sized above");
-        let checksum = h.u64("checksum").expect("sized above");
-        // Checked arithmetic: a corrupted length near `usize::MAX` must
-        // not wrap past the bounds check and panic in the slice below.
-        let total = HEADER
-            .checked_add(payload_len)
-            .ok_or(ImageError::Malformed("payload length"))?;
-        if buf.len() < total {
-            return Err(ImageError::Truncated {
-                expected: total,
-                got: buf.len(),
-            });
-        }
-        if buf.len() > total {
-            // Appended junk is corruption too: the image must account for
-            // every byte, or a concatenation/truncation bug upstream
-            // would round-trip undetected.
-            return Err(ImageError::Malformed("trailing bytes"));
-        }
-        let payload = &buf[HEADER..total];
-        if fnv1a64(payload) != checksum {
-            return Err(ImageError::ChecksumMismatch);
-        }
-
+        let (payload, _checksum) = validate_image_header(buf)?;
         let mut d = Dec::new(payload);
+        match d.u8("image kind")? {
+            IMAGE_KIND_FULL => {}
+            IMAGE_KIND_DELTA => {
+                return Err(ImageError::DeltaChain(
+                    "standalone decode of a delta image; resolve it through its parent chain",
+                ))
+            }
+            _ => return Err(ImageError::Malformed("image kind")),
+        }
         let epoch = d.u64("epoch")?;
         let n_ranks = d.usize("n_ranks")?;
         let protocol = protocol_from_code(d.u8("protocol")?)?;
@@ -393,30 +403,7 @@ impl Checkpoint {
         if !d.finished() {
             return Err(ImageError::Malformed("trailing bytes"));
         }
-        // Range validation: the checksum authenticates accidental
-        // corruption, not a hand-edited file, and every rank index in the
-        // image is later used to address per-rank control state. Reject
-        // out-of-range indices here so a tampered image fails with a
-        // typed error instead of an out-of-bounds panic mid-restore.
-        if n_ranks == 0 || origin.ranks_per_node == 0 {
-            return Err(ImageError::Malformed("world shape"));
-        }
-        for (i, c) in captures.iter().enumerate() {
-            if c.rank != i {
-                return Err(ImageError::Malformed("capture rank vs position"));
-            }
-        }
-        for m in &in_flight {
-            if m.saved.src_world >= n_ranks || m.saved.dst_world >= n_ranks {
-                return Err(ImageError::Malformed("in-flight message endpoint"));
-            }
-        }
-        for e in &cut_events {
-            if e.rank >= n_ranks || e.members.iter().any(|&r| r >= n_ranks) {
-                return Err(ImageError::Malformed("cut-event rank"));
-            }
-        }
-        Ok(Checkpoint {
+        let ckpt = Checkpoint {
             epoch,
             n_ranks,
             protocol,
@@ -430,19 +417,29 @@ impl Checkpoint {
             cut_events,
             io_write_secs,
             io_read_secs,
-        })
+        };
+        validate_shape(&ckpt)?;
+        Ok(ckpt)
     }
 
-    /// Writes the serialized image to `path`; returns the byte count.
+    /// Writes the serialized image to `path`; returns the byte count. An
+    /// I/O failure reports the offending path, not just the OS error.
     pub fn save_to(&self, path: impl AsRef<Path>) -> Result<usize, ImageError> {
         let bytes = self.to_bytes();
-        std::fs::write(path, &bytes).map_err(|e| ImageError::Io(e.to_string()))?;
+        std::fs::write(path.as_ref(), &bytes).map_err(|e| ImageError::Io {
+            path: path.as_ref().display().to_string(),
+            source: e.to_string(),
+        })?;
         Ok(bytes.len())
     }
 
-    /// Reads and parses an image from `path`.
+    /// Reads and parses an image from `path`. An I/O failure reports the
+    /// offending path, not just the OS error.
     pub fn load_from(path: impl AsRef<Path>) -> Result<Checkpoint, ImageError> {
-        let bytes = std::fs::read(path).map_err(|e| ImageError::Io(e.to_string()))?;
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| ImageError::Io {
+            path: path.as_ref().display().to_string(),
+            source: e.to_string(),
+        })?;
         Checkpoint::from_bytes(&bytes)
     }
 
@@ -455,6 +452,94 @@ impl Checkpoint {
         let sections: usize = self.captures.iter().map(capture_section_len).sum();
         IMAGE_HEADER_LEN + n.count() + sections
     }
+}
+
+/// Validates the fixed image header — magic, version, length, trailing
+/// bytes, FNV-1a checksum — and returns the authenticated payload slice
+/// plus the header's checksum word (delta chains use it as the parent
+/// fingerprint). Shared by full-image and delta-image decoding.
+pub(crate) fn validate_image_header(buf: &[u8]) -> Result<(&[u8], u64), ImageError> {
+    const HEADER: usize = IMAGE_HEADER_LEN;
+    if buf.len() < HEADER {
+        if !buf.starts_with(&IMAGE_MAGIC[..buf.len().min(8)]) {
+            return Err(ImageError::BadMagic);
+        }
+        return Err(ImageError::Truncated {
+            expected: HEADER,
+            got: buf.len(),
+        });
+    }
+    if buf[..8] != IMAGE_MAGIC {
+        return Err(ImageError::BadMagic);
+    }
+    let mut h = Dec::new(&buf[8..HEADER]);
+    let version = h.u32("version").expect("sized above");
+    if version != IMAGE_VERSION {
+        return Err(ImageError::UnsupportedVersion(version));
+    }
+    let payload_len = h.usize("payload length").expect("sized above");
+    let checksum = h.u64("checksum").expect("sized above");
+    // Checked arithmetic: a corrupted length near `usize::MAX` must
+    // not wrap past the bounds check and panic in the slice below.
+    let total = HEADER
+        .checked_add(payload_len)
+        .ok_or(ImageError::Malformed("payload length"))?;
+    if buf.len() < total {
+        return Err(ImageError::Truncated {
+            expected: total,
+            got: buf.len(),
+        });
+    }
+    if buf.len() > total {
+        // Appended junk is corruption too: the image must account for
+        // every byte, or a concatenation/truncation bug upstream
+        // would round-trip undetected.
+        return Err(ImageError::Malformed("trailing bytes"));
+    }
+    let payload = &buf[HEADER..total];
+    if fnv1a64(payload) != checksum {
+        return Err(ImageError::ChecksumMismatch);
+    }
+    Ok((payload, checksum))
+}
+
+/// The checksum word of an already-serialized image's header. The caller
+/// must have produced or validated `buf`; this only reads the field.
+pub(crate) fn header_checksum(buf: &[u8]) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&buf[IMAGE_CHECKSUM_OFFSET..IMAGE_CHECKSUM_OFFSET + 8]);
+    u64::from_le_bytes(w)
+}
+
+/// Range validation shared by full-image decode and delta-chain
+/// resolution: the checksum authenticates accidental corruption, not a
+/// hand-edited file, and every rank index in the image is later used to
+/// address per-rank control state. Reject out-of-range indices here so a
+/// tampered image fails with a typed error instead of an out-of-bounds
+/// panic mid-restore.
+pub(crate) fn validate_shape(c: &Checkpoint) -> Result<(), ImageError> {
+    if c.n_ranks == 0 || c.origin.ranks_per_node == 0 {
+        return Err(ImageError::Malformed("world shape"));
+    }
+    if c.captures.len() != c.n_ranks {
+        return Err(ImageError::Malformed("capture count vs n_ranks"));
+    }
+    for (i, cap) in c.captures.iter().enumerate() {
+        if cap.rank != i {
+            return Err(ImageError::Malformed("capture rank vs position"));
+        }
+    }
+    for m in &c.in_flight {
+        if m.saved.src_world >= c.n_ranks || m.saved.dst_world >= c.n_ranks {
+            return Err(ImageError::Malformed("in-flight message endpoint"));
+        }
+    }
+    for e in &c.cut_events {
+        if e.rank >= c.n_ranks || e.members.iter().any(|&r| r >= c.n_ranks) {
+            return Err(ImageError::Malformed("cut-event rank"));
+        }
+    }
+    Ok(())
 }
 
 /// Exact encoded size of one rank's capture section.
@@ -515,7 +600,7 @@ fn encode_capture_sections(
 // Field codecs
 // ----------------------------------------------------------------------
 
-fn protocol_code(p: Protocol) -> u8 {
+pub(crate) fn protocol_code(p: Protocol) -> u8 {
     match p {
         Protocol::Native => 0,
         Protocol::Cc => 1,
@@ -523,7 +608,7 @@ fn protocol_code(p: Protocol) -> u8 {
     }
 }
 
-fn protocol_from_code(c: u8) -> Result<Protocol, ImageError> {
+pub(crate) fn protocol_from_code(c: u8) -> Result<Protocol, ImageError> {
     match c {
         0 => Ok(Protocol::Native),
         1 => Ok(Protocol::Cc),
@@ -532,7 +617,7 @@ fn protocol_from_code(c: u8) -> Result<Protocol, ImageError> {
     }
 }
 
-fn enc_params<W: Wr>(e: &mut W, p: &NetParams) {
+pub(crate) fn enc_params<W: Wr>(e: &mut W, p: &NetParams) {
     e.f64(p.alpha_intra);
     e.f64(p.alpha_inter);
     e.f64(p.beta_intra);
@@ -545,7 +630,7 @@ fn enc_params<W: Wr>(e: &mut W, p: &NetParams) {
     e.u64(p.jitter_seed);
 }
 
-fn dec_params(d: &mut Dec) -> Result<NetParams, ImageError> {
+pub(crate) fn dec_params(d: &mut Dec) -> Result<NetParams, ImageError> {
     Ok(NetParams {
         alpha_intra: d.f64("alpha_intra")?,
         alpha_inter: d.f64("alpha_inter")?,
@@ -560,7 +645,7 @@ fn dec_params(d: &mut Dec) -> Result<NetParams, ImageError> {
     })
 }
 
-fn dec_vtime(d: &mut Dec, what: DecodeError) -> Result<VTime, ImageError> {
+pub(crate) fn dec_vtime(d: &mut Dec, what: DecodeError) -> Result<VTime, ImageError> {
     let s = d.f64(what)?;
     if !s.is_finite() || s < 0.0 {
         return Err(ImageError::Malformed(what));
@@ -568,7 +653,7 @@ fn dec_vtime(d: &mut Dec, what: DecodeError) -> Result<VTime, ImageError> {
     Ok(VTime::from_secs(s))
 }
 
-fn enc_target_map<W: Wr>(e: &mut W, m: &HashMap<Ggid, u64>) {
+pub(crate) fn enc_target_map<W: Wr>(e: &mut W, m: &HashMap<Ggid, u64>) {
     let mut entries: Vec<(u64, u64)> = m.iter().map(|(g, v)| (g.0, *v)).collect();
     entries.sort_unstable();
     e.usize(entries.len());
@@ -578,7 +663,10 @@ fn enc_target_map<W: Wr>(e: &mut W, m: &HashMap<Ggid, u64>) {
     }
 }
 
-fn dec_target_map(d: &mut Dec, what: DecodeError) -> Result<HashMap<Ggid, u64>, ImageError> {
+pub(crate) fn dec_target_map(
+    d: &mut Dec,
+    what: DecodeError,
+) -> Result<HashMap<Ggid, u64>, ImageError> {
     let n = d.seq_len(what)?;
     let mut m = HashMap::with_capacity(n);
     for _ in 0..n {
@@ -632,10 +720,10 @@ fn enc_members<W: Wr>(e: &mut W, v: &[usize]) {
 /// world group — shares one allocation, keeping decode memory
 /// O(ranks + members) like the live runtime's `Arc<[usize]>` sharing.
 #[derive(Default)]
-struct MemberIntern(HashMap<(usize, usize), Arc<[usize]>>);
+pub(crate) struct MemberIntern(HashMap<(usize, usize), Arc<[usize]>>);
 
 impl MemberIntern {
-    fn range(&mut self, start: usize, len: usize) -> Arc<[usize]> {
+    pub(crate) fn range(&mut self, start: usize, len: usize) -> Arc<[usize]> {
         Arc::clone(
             self.0
                 .entry((start, len))
@@ -644,7 +732,7 @@ impl MemberIntern {
     }
 }
 
-fn dec_members(
+pub(crate) fn dec_members(
     d: &mut Dec,
     intern: &mut MemberIntern,
     what: DecodeError,
@@ -777,9 +865,52 @@ fn dec_comm_op(d: &mut Dec) -> Result<CommOpRecord, ImageError> {
 }
 
 fn enc_capture<W: Wr>(e: &mut W, c: &RuntimeCapture) {
+    // Volatile half first: identity, execution position, and the
+    // per-generation flow counts. These change at every checkpoint, so
+    // delta images always carry them inline.
     e.usize(c.rank);
     e.u8(c.state as u8);
     e.f64(c.clock.as_secs());
+    match c.pending_barrier {
+        None => e.u8(0),
+        Some((vc, ord)) => {
+            e.u8(1);
+            e.u64(vc);
+            e.u64(ord);
+        }
+    }
+    e.u64(c.p2p_sent);
+    e.u64(c.p2p_delivered);
+    // Restart-stable half: the bytes delta images dedup by content hash.
+    enc_capture_stable(e, c);
+}
+
+fn dec_capture(d: &mut Dec, intern: &mut MemberIntern) -> Result<RuntimeCapture, ImageError> {
+    let rank = d.usize("capture rank")?;
+    let state = match d.u8("capture state")? {
+        s @ 0..=6 => RankState::from_u8(s),
+        _ => return Err(ImageError::Malformed("capture state")),
+    };
+    let clock = dec_vtime(d, "capture clock")?;
+    let pending_barrier = match d.u8("pending-barrier tag")? {
+        0 => None,
+        1 => Some((
+            d.u64("pending-barrier vcomm")?,
+            d.u64("pending-barrier ordinal")?,
+        )),
+        _ => return Err(ImageError::Malformed("pending-barrier tag")),
+    };
+    let p2p_sent = d.u64("p2p sent")?;
+    let p2p_delivered = d.u64("p2p delivered")?;
+    let stable = dec_capture_stable(d, intern)?;
+    Ok(stable.into_capture(rank, state, clock, pending_barrier, p2p_sent, p2p_delivered))
+}
+
+/// Encodes the restart-stable half of a rank capture: sequence table,
+/// communicator creation log, pending receives, call counters, and the
+/// vcomm maps. This is exactly the byte span delta images content-address
+/// — two ranks whose stable halves encode identically share one chunk.
+pub(crate) fn enc_capture_stable<W: Wr>(e: &mut W, c: &RuntimeCapture) {
     let mut seq: Vec<(u64, u64, &[usize])> = c
         .seq_table
         .iter()
@@ -803,17 +934,7 @@ fn enc_capture<W: Wr>(e: &mut W, c: &RuntimeCapture) {
         enc_src(e, p.src);
         enc_tag(e, p.tag);
     }
-    match c.pending_barrier {
-        None => e.u8(0),
-        Some((vc, ord)) => {
-            e.u8(1);
-            e.u64(vc);
-            e.u64(ord);
-        }
-    }
     enc_counters(e, &c.counters);
-    e.u64(c.p2p_sent);
-    e.u64(c.p2p_delivered);
     let mut lower: Vec<(u64, u64)> = c.vcomm_to_lower.iter().map(|(v, c)| (*v, c.0)).collect();
     lower.sort_unstable();
     e.usize(lower.len());
@@ -831,13 +952,49 @@ fn enc_capture<W: Wr>(e: &mut W, c: &RuntimeCapture) {
     }
 }
 
-fn dec_capture(d: &mut Dec, intern: &mut MemberIntern) -> Result<RuntimeCapture, ImageError> {
-    let rank = d.usize("capture rank")?;
-    let state = match d.u8("capture state")? {
-        s @ 0..=6 => RankState::from_u8(s),
-        _ => return Err(ImageError::Malformed("capture state")),
-    };
-    let clock = dec_vtime(d, "capture clock")?;
+/// The decoded restart-stable half of a rank capture; combined with the
+/// volatile fields (carried inline by both full and delta images) it
+/// rebuilds the full [`RuntimeCapture`].
+pub(crate) struct StableState {
+    pub seq_table: SeqTable,
+    pub comm_log: Vec<CommOpRecord>,
+    pub pending_recvs: Vec<PendingRecv>,
+    pub counters: CallCounters,
+    pub vcomm_to_lower: HashMap<u64, CommId>,
+    pub vcomm_members: HashMap<u64, Arc<[usize]>>,
+}
+
+impl StableState {
+    pub(crate) fn into_capture(
+        self,
+        rank: usize,
+        state: RankState,
+        clock: VTime,
+        pending_barrier: Option<(u64, u64)>,
+        p2p_sent: u64,
+        p2p_delivered: u64,
+    ) -> RuntimeCapture {
+        RuntimeCapture {
+            rank,
+            state,
+            clock,
+            seq_table: self.seq_table,
+            comm_log: self.comm_log,
+            pending_recvs: self.pending_recvs,
+            pending_barrier,
+            counters: self.counters,
+            p2p_sent,
+            p2p_delivered,
+            vcomm_to_lower: self.vcomm_to_lower,
+            vcomm_members: self.vcomm_members,
+        }
+    }
+}
+
+pub(crate) fn dec_capture_stable(
+    d: &mut Dec,
+    intern: &mut MemberIntern,
+) -> Result<StableState, ImageError> {
     let n_seq = d.seq_len("seq-table length")?;
     let mut seq_table = SeqTable::new();
     for _ in 0..n_seq {
@@ -861,17 +1018,7 @@ fn dec_capture(d: &mut Dec, intern: &mut MemberIntern) -> Result<RuntimeCapture,
             tag: dec_tag(d)?,
         });
     }
-    let pending_barrier = match d.u8("pending-barrier tag")? {
-        0 => None,
-        1 => Some((
-            d.u64("pending-barrier vcomm")?,
-            d.u64("pending-barrier ordinal")?,
-        )),
-        _ => return Err(ImageError::Malformed("pending-barrier tag")),
-    };
     let counters = dec_counters(d)?;
-    let p2p_sent = d.u64("p2p sent")?;
-    let p2p_delivered = d.u64("p2p delivered")?;
     let n_lower = d.seq_len("vcomm-lower count")?;
     let mut vcomm_to_lower = HashMap::with_capacity(n_lower);
     for _ in 0..n_lower {
@@ -883,23 +1030,30 @@ fn dec_capture(d: &mut Dec, intern: &mut MemberIntern) -> Result<RuntimeCapture,
         let v = d.u64("vcomm member key")?;
         vcomm_members.insert(v, dec_members(d, intern, "vcomm member list")?);
     }
-    Ok(RuntimeCapture {
-        rank,
-        state,
-        clock,
+    Ok(StableState {
         seq_table,
         comm_log,
         pending_recvs,
-        pending_barrier,
         counters,
-        p2p_sent,
-        p2p_delivered,
         vcomm_to_lower,
         vcomm_members,
     })
 }
 
-fn enc_drained<W: Wr>(e: &mut W, m: &DrainedMsg) {
+/// Whether two captures agree on every restart-stable field — the
+/// "changed rank" test of the incremental-image path. Volatile fields
+/// (state, clock, pending barrier, flow counts) are excluded: they move
+/// on every checkpoint and are always carried inline.
+pub(crate) fn stable_state_eq(a: &RuntimeCapture, b: &RuntimeCapture) -> bool {
+    a.seq_table == b.seq_table
+        && a.comm_log == b.comm_log
+        && a.pending_recvs == b.pending_recvs
+        && a.counters == b.counters
+        && a.vcomm_to_lower == b.vcomm_to_lower
+        && a.vcomm_members == b.vcomm_members
+}
+
+pub(crate) fn enc_drained<W: Wr>(e: &mut W, m: &DrainedMsg) {
     e.usize(m.saved.src_world);
     e.usize(m.saved.dst_world);
     e.u64(m.saved.vcomm);
@@ -909,7 +1063,7 @@ fn enc_drained<W: Wr>(e: &mut W, m: &DrainedMsg) {
     e.f64(m.arrival.as_secs());
 }
 
-fn dec_drained(d: &mut Dec) -> Result<DrainedMsg, ImageError> {
+pub(crate) fn dec_drained(d: &mut Dec) -> Result<DrainedMsg, ImageError> {
     Ok(DrainedMsg {
         saved: SavedMsg {
             src_world: d.usize("msg src")?,
@@ -923,14 +1077,14 @@ fn dec_drained(d: &mut Dec) -> Result<DrainedMsg, ImageError> {
     })
 }
 
-fn enc_event<W: Wr>(e: &mut W, ev: &ExecEvent) {
+pub(crate) fn enc_event<W: Wr>(e: &mut W, ev: &ExecEvent) {
     e.usize(ev.rank);
     e.u64(ev.node.ggid.0);
     e.u64(ev.node.seq);
     enc_members(e, &ev.members);
 }
 
-fn dec_event(d: &mut Dec, intern: &mut MemberIntern) -> Result<ExecEvent, ImageError> {
+pub(crate) fn dec_event(d: &mut Dec, intern: &mut MemberIntern) -> Result<ExecEvent, ImageError> {
     Ok(ExecEvent {
         rank: d.usize("event rank")?,
         node: Node {
@@ -1206,8 +1360,43 @@ mod tests {
     }
 
     #[test]
-    fn load_missing_file_is_io_error() {
+    fn load_missing_file_is_io_error_with_path() {
         let e = Checkpoint::load_from("/nonexistent/dir/image.ckpt").unwrap_err();
-        assert!(matches!(e, ImageError::Io(_)));
+        match &e {
+            ImageError::Io { path, source } => {
+                assert_eq!(path, "/nonexistent/dir/image.ckpt");
+                assert!(!source.is_empty());
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        // And the Display form surfaces the path, so a failed restore
+        // names the file instead of a bare "I/O error".
+        assert!(e.to_string().contains("/nonexistent/dir/image.ckpt"));
+    }
+
+    #[test]
+    fn load_unreadable_path_reports_the_path() {
+        // A directory is open-able metadata-wise but unreadable as an
+        // image file; the error must still carry which path failed.
+        let dir = std::env::temp_dir().join("ckpt_io_err_dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let e = Checkpoint::load_from(&dir).unwrap_err();
+        match e {
+            ImageError::Io { path, source } => {
+                assert_eq!(path, dir.display().to_string());
+                assert!(!source.is_empty());
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_to_unwritable_path_reports_the_path() {
+        let c = rich_ckpt();
+        let e = c.save_to("/nonexistent/dir/image.ckpt").unwrap_err();
+        match e {
+            ImageError::Io { path, .. } => assert_eq!(path, "/nonexistent/dir/image.ckpt"),
+            other => panic!("expected Io, got {other:?}"),
+        }
     }
 }

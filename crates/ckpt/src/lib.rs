@@ -87,6 +87,46 @@
 //!   (a cut that fails the safe-cut oracle, a malformed image, a failed
 //!   thread spawn) as a typed [`RestoreError`] instead of panicking.
 //!
+//! ## Storage tiers and delta chains
+//!
+//! Where an image *goes* is the [`store`] subsystem's job. A
+//! [`TieredStore`] multiplexes three [`CkptStore`] backends in the
+//! SCR/FTI multi-level style — node-local **memory** (fastest, dies
+//! with the node), **partner** (each node's shard mirrored to a buddy
+//! node over the interconnect; survives any single node loss), and
+//! **Lustre** (slowest, survives anything) — under one generation-
+//! numbered namespace. Attach one to a run with
+//! [`CkptOptions::with_tiering`]: a [`TierSchedule`] picks the tier per
+//! committed checkpoint (fixed, or an SCR-style rotation like
+//! memory/partner/memory/lustre), and the coordinator charges each
+//! write's modeled cost from the matching `netmodel` tier model.
+//!
+//! Images on a tiered run can be **incremental**. Under a
+//! [`DeltaPolicy`], a generation is written as a [`DeltaImage`] (wire
+//! format v4, kind byte [`IMAGE_KIND_DELTA`]): only the volatile
+//! per-rank scalars plus the restart-stable state of ranks that
+//! *changed* since the parent generation, with unchanged state carried
+//! as content-addressed chunk references dedup'd across the whole
+//! ancestor chain. Each delta records its parent's generation number
+//! and header checksum; restore ([`TieredStore::load`]) walks the chain
+//! leaf→root, verifies every link, then re-applies root→leaf through a
+//! [`ChunkPool`] — producing a checkpoint bit-identical to a full
+//! image's. Broken chains fail typed: a missing ancestor is
+//! [`ImageError::DanglingParent`], a forged link or truncated chunk is
+//! [`ImageError::DeltaChain`].
+//!
+//! Tiered writes can also be **asynchronous**
+//! ([`Tiering::with_async_drain`]): after the capture bracket clones
+//! the world state out, ranks resume immediately while encode+write
+//! retires on a background drain using the scheduler's borrowed
+//! workers. The app-visible stall shrinks to the clone-out — unless the
+//! next trigger fires before the previous image lands, in which case
+//! the wait is charged as back-pressure. [`CkptRunReport`] splits the
+//! two: `capture_wall_s` keeps the blocking component,
+//! `capture_overlap_s` reports the overlapped remainder, and
+//! `store_records` carries per-generation tier/bytes/back-pressure
+//! accounting ([`store::StoreRecord`]).
+//!
 //! ## Execution model: two rank representations, one semantics
 //!
 //! A rank body runs in one of two **representations**:
@@ -153,6 +193,7 @@ pub mod rank;
 pub mod restore;
 pub mod runner;
 pub mod session;
+pub mod store;
 pub mod wire;
 
 pub use bus::{TargetUpdate, UpdateBus};
@@ -161,12 +202,13 @@ pub use coordinator::{
     MAX_AUTO_STALL,
 };
 pub use image::{
-    CaptureOrigin, Checkpoint, DrainedMsg, ImageError, IMAGE_HEADER_LEN, IMAGE_MAGIC, IMAGE_VERSION,
+    CaptureOrigin, Checkpoint, DrainedMsg, ImageError, IMAGE_HEADER_LEN, IMAGE_KIND_DELTA,
+    IMAGE_KIND_FULL, IMAGE_MAGIC, IMAGE_VERSION,
 };
 pub use mpisim::SpawnError;
 pub use policy::{
-    EveryNCollectives, NeverTrigger, PeriodicInterval, TriggerObservation, TriggerPolicy,
-    VirtualTimeSchedule,
+    DeltaPolicy, EveryNCollectives, NeverTrigger, PeriodicInterval, TierSchedule,
+    TriggerObservation, TriggerPolicy, VirtualTimeSchedule,
 };
 pub use rank::step::{StepPoll, StepRank};
 pub use rank::CcRank;
@@ -177,3 +219,7 @@ pub use restore::{
 pub use runner::step::{run_ckpt_world_steps, try_run_ckpt_world_steps, BodyStep, StepBody};
 pub use runner::{run_ckpt_world, try_run_ckpt_world, CkptOptions, CkptRunReport};
 pub use session::Session;
+pub use store::{
+    ChunkPool, ChunkRef, CkptStore, CkptTier, DeltaImage, ImagePayload, ImageSetLayout,
+    SaveReceipt, StoreError, StoreRecord, TierModels, TieredStore, Tiering,
+};

@@ -198,9 +198,77 @@ impl TriggerPolicy for EveryNCollectives {
     }
 }
 
+/// Which storage tier each committed checkpoint lands on, indexed by the
+/// store's generation number — so a run that resumes into an existing
+/// [`crate::store::TieredStore`] continues the rotation where it left off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierSchedule {
+    /// Every checkpoint lands on the same tier.
+    Fixed(crate::store::CkptTier),
+    /// SCR-style rotation: every `lustre_every`-th checkpoint goes to
+    /// Lustre, every `partner_every`-th (otherwise) to the partner tier,
+    /// and the rest stay in node-local memory. Counting is one-based:
+    /// with `partner_every = 2, lustre_every = 4` the sequence is
+    /// memory, partner, memory, lustre, memory, partner, …
+    Rotation {
+        /// Partner-tier stride (0 disables the partner level).
+        partner_every: u64,
+        /// Lustre stride (0 disables the Lustre level).
+        lustre_every: u64,
+    },
+}
+
+impl TierSchedule {
+    /// The tier for generation `index` (zero-based).
+    pub fn tier_for(&self, index: u64) -> crate::store::CkptTier {
+        use crate::store::CkptTier;
+        match *self {
+            TierSchedule::Fixed(t) => t,
+            TierSchedule::Rotation {
+                partner_every,
+                lustre_every,
+            } => {
+                let nth = index + 1;
+                if lustre_every > 0 && nth.is_multiple_of(lustre_every) {
+                    CkptTier::Lustre
+                } else if partner_every > 0 && nth.is_multiple_of(partner_every) {
+                    CkptTier::Partner
+                } else {
+                    CkptTier::Memory
+                }
+            }
+        }
+    }
+}
+
+/// When a tiered run writes an incremental image instead of a full one,
+/// again indexed by generation number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaPolicy {
+    /// Every image is full.
+    Never,
+    /// Generation `0, k, 2k, …` are full anchors; everything in between
+    /// is a delta against its predecessor, so no chain grows longer than
+    /// `k - 1` links.
+    FullEvery(u64),
+}
+
+impl DeltaPolicy {
+    /// Whether generation `index` should be written as a delta (the
+    /// store still falls back to a full image when no usable parent
+    /// exists).
+    pub fn wants_delta(&self, index: u64) -> bool {
+        match *self {
+            DeltaPolicy::Never => false,
+            DeltaPolicy::FullEvery(k) => k > 0 && !index.is_multiple_of(k),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::CkptTier;
 
     fn obs(min_clock_ns: u64, min_coll_calls: u64, taken: usize) -> TriggerObservation {
         TriggerObservation {
@@ -279,5 +347,50 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_stride_rejected() {
         let _ = EveryNCollectives::new(0, 1);
+    }
+
+    #[test]
+    fn rotation_visits_all_levels() {
+        let s = TierSchedule::Rotation {
+            partner_every: 2,
+            lustre_every: 4,
+        };
+        let tiers: Vec<CkptTier> = (0..8).map(|i| s.tier_for(i)).collect();
+        assert_eq!(
+            tiers,
+            vec![
+                CkptTier::Memory,
+                CkptTier::Partner,
+                CkptTier::Memory,
+                CkptTier::Lustre,
+                CkptTier::Memory,
+                CkptTier::Partner,
+                CkptTier::Memory,
+                CkptTier::Lustre,
+            ]
+        );
+        // Zero strides disable a level rather than dividing by zero.
+        let mem_only = TierSchedule::Rotation {
+            partner_every: 0,
+            lustre_every: 0,
+        };
+        assert!((0..16).all(|i| mem_only.tier_for(i) == CkptTier::Memory));
+        assert_eq!(
+            TierSchedule::Fixed(CkptTier::Partner).tier_for(7),
+            CkptTier::Partner
+        );
+    }
+
+    #[test]
+    fn delta_policy_anchors_every_k() {
+        let p = DeltaPolicy::FullEvery(4);
+        let wants: Vec<bool> = (0..8).map(|i| p.wants_delta(i)).collect();
+        assert_eq!(
+            wants,
+            vec![false, true, true, true, false, true, true, true]
+        );
+        assert!(!DeltaPolicy::Never.wants_delta(3));
+        // FullEvery(0) is treated as "always full", not a modulo panic.
+        assert!(!DeltaPolicy::FullEvery(0).wants_delta(5));
     }
 }

@@ -41,7 +41,12 @@ pub struct CcRank {
     sh: Arc<Session>,
     rank: usize,
     targets: TargetTable,
-    targets_installed: bool,
+    /// The `ckpt_epoch` the installed targets belong to. Back-to-back
+    /// triggers can open checkpoint N+1 before this rank ever observes
+    /// the not-pending gap after N, so a boolean "installed" flag would
+    /// leave N's targets in force and park the rank below N+1's — the
+    /// epoch makes staleness detectable without relying on the gap.
+    targets_epoch: Option<u64>,
     vcomms: VCommTable,
     vreqs: VReqTable,
     counters: CallCounters,
@@ -68,7 +73,7 @@ impl CcRank {
             sh,
             rank,
             targets: TargetTable::new(),
-            targets_installed: false,
+            targets_epoch: None,
             vcomms: VCommTable::new(),
             vreqs: VReqTable::new(),
             counters: CallCounters::default(),
@@ -230,23 +235,27 @@ impl CcRank {
                 self.apply_updates();
                 self.publish_met();
             }
-        } else if self.targets_installed {
+        } else if self.targets_epoch.is_some() {
             self.targets.clear();
-            self.targets_installed = false;
+            self.targets_epoch = None;
         }
     }
 
     /// Installs the coordinator's initial targets once per checkpoint.
+    /// A cache left over from an earlier epoch is discarded first: its
+    /// targets were met, not this checkpoint's.
     fn install_targets_if_new(&mut self) {
-        if self.targets_installed {
+        let sh = Arc::clone(&self.sh);
+        let epoch = sh.control.ckpt_epoch.load(SeqCst);
+        if self.targets_epoch == Some(epoch) {
             return;
         }
-        let sh = Arc::clone(&self.sh);
+        self.targets.clear();
         let t = sh.control.ranks[self.rank].initial_targets.lock().clone();
         let mut listing: Vec<(Ggid, u64)> = t.iter().map(|(g, v)| (*g, *v)).collect();
         listing.sort();
         self.targets.install(t);
-        self.targets_installed = true;
+        self.targets_epoch = Some(epoch);
         sh.trace
             .push(DrainEvent::TargetsInstalled(self.rank, listing));
     }
@@ -541,8 +550,14 @@ impl CcRank {
         ctl.set_state(RankState::EntryParked);
         sh.trace.push(DrainEvent::Parked(self.rank));
         self.publish_met();
+        // The not-pending gap between two checkpoints can be shorter than
+        // this park's wake latency: `pending` may read true here for the
+        // *next* checkpoint. The epoch is monotone, so comparing against
+        // the one we parked under catches that hand-off and sends the
+        // rank back through the gate to install the new targets.
+        let parked_epoch = sh.control.ckpt_epoch.load(SeqCst);
         loop {
-            if !sh.control.is_pending() {
+            if !sh.control.is_pending() || sh.control.ckpt_epoch.load(SeqCst) != parked_epoch {
                 break;
             }
             if sh.control.phase() == CkptPhase::Quiescing {
@@ -556,11 +571,13 @@ impl CcRank {
                 break;
             }
             // Parked at the wrapper entry: slotless until a raise, the
-            // quiesce signal, or the end of the checkpoint.
+            // quiesce signal, the end of the checkpoint, or the next
+            // checkpoint taking over.
             let rank = self.rank;
             self.ctx.blocked(|| {
                 ctl.park_until(|| {
                     !sh.control.is_pending()
+                        || sh.control.ckpt_epoch.load(SeqCst) != parked_epoch
                         || sh.control.phase() != CkptPhase::Draining
                         || sh.bus.has_pending(rank)
                 });

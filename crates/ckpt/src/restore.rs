@@ -28,7 +28,7 @@ use crate::coordinator::{image_file_layout, Coordinator, StorageSpec};
 use crate::image::Checkpoint;
 use crate::rank::CcRank;
 use crate::runner::step::{run_session_steps, StepBody};
-use crate::runner::{run_session_threads, CkptRunReport};
+use crate::runner::{run_session_threads, CkptRunReport, SuperviseOut};
 use crate::session::{RestorePlan, Session};
 use mana_core::{RankState, RuntimeCapture, Violation};
 use mpisim::{SpawnError, WorldConfig};
@@ -207,7 +207,7 @@ where
     let sup = Arc::clone(&sh);
     run_session_threads(sh, rcfg.stack_size, f, move || {
         drive_restore(&sup, image, &rcfg, restored_cfg);
-        (Vec::new(), Vec::new(), Vec::new())
+        SuperviseOut::default()
     })
     .map_err(RestoreError::from)
 }
@@ -252,7 +252,7 @@ where
     let sup = Arc::clone(&sh);
     run_session_steps(sh, rcfg.stack_size, make, move || {
         drive_restore(&sup, image, &rcfg, restored_cfg);
-        (Vec::new(), Vec::new(), Vec::new())
+        SuperviseOut::default()
     })
     .map_err(RestoreError::from)
 }

@@ -15,6 +15,7 @@ use crate::image::Checkpoint;
 use crate::policy::{NeverTrigger, TriggerObservation, TriggerPolicy, VirtualTimeSchedule};
 use crate::rank::CcRank;
 use crate::session::Session;
+use crate::store::{StoreRecord, Tiering};
 use mana_core::{CallCounters, DrainTrace, ExecEvent, Protocol, RankState};
 use mpisim::world::LaunchGate;
 use mpisim::{RankReport, SpawnError, VTime, WorldConfig};
@@ -38,6 +39,12 @@ pub struct CkptOptions {
     /// Storage model for checkpoint-image I/O; `None` makes checkpoints
     /// free on the virtual clocks (unit-test arithmetic).
     pub storage: Option<StorageSpec>,
+    /// Tiered, optionally incremental, optionally asynchronous storage
+    /// (see [`crate::store`]); takes precedence over `storage`. Every
+    /// committed checkpoint is serialized into the attached
+    /// [`crate::store::TieredStore`] and can be loaded back from it after
+    /// the run.
+    pub tiering: Option<Tiering>,
     /// Drain watchdog window before a stalled checkpoint is aborted with
     /// [`DrainError::P2pStall`]. `None` (the default) scales the window
     /// with the world size ([`auto_stall_timeout`]): under the batched
@@ -56,6 +63,7 @@ impl Default for CkptOptions {
             policy: Box::new(NeverTrigger),
             resume: ResumeMode::Continue,
             storage: None,
+            tiering: None,
             stall_timeout: None,
         }
     }
@@ -99,6 +107,13 @@ impl CkptOptions {
         self
     }
 
+    /// Attaches tiered storage for image I/O (takes precedence over
+    /// [`CkptOptions::with_storage`]).
+    pub fn with_tiering(mut self, tiering: Tiering) -> Self {
+        self.tiering = Some(tiering);
+        self
+    }
+
     /// Pins the drain watchdog window instead of the world-size-scaled
     /// default.
     pub fn with_stall_timeout(mut self, t: Duration) -> Self {
@@ -113,6 +128,7 @@ impl std::fmt::Debug for CkptOptions {
             .field("protocol", &self.protocol)
             .field("resume", &self.resume)
             .field("storage", &self.storage)
+            .field("tiering", &self.tiering.is_some())
             .field("stall_timeout", &self.stall_timeout)
             .finish_non_exhaustive()
     }
@@ -147,8 +163,19 @@ pub struct CkptRunReport<R> {
     /// coordinator's capture bracket (parallel per-rank state clone plus
     /// the in-flight drain), aligned with [`CkptRunReport::checkpoints`].
     /// Wall time, not virtual time — the benchmark's `capture_wall_s`
-    /// column. Empty for restored runs.
+    /// column. Empty for restored runs. Under a tiered **async drain**
+    /// this is the *blocking* component only — the clone-out plus any
+    /// wait for the previous background drain; the overlapped encode+write
+    /// remainder is in [`CkptRunReport::capture_overlap_s`].
     pub capture_wall_s: Vec<f64>,
+    /// Tiered runs only: host wall seconds of encode+write retired off
+    /// the critical path per committed checkpoint (zero for synchronous
+    /// drains), aligned with `checkpoints`. Empty without tiering.
+    pub capture_overlap_s: Vec<f64>,
+    /// Tiered runs only: per-committed-checkpoint storage accounting
+    /// (generation, tier, delta parent, bytes, back-pressure), aligned
+    /// with `checkpoints`. Empty without tiering.
+    pub store_records: Vec<StoreRecord>,
     /// Step-runner only: resident-set growth of this process across the
     /// step-object build phase, divided by the rank count — the
     /// "bytes of heap one parked rank costs" column of the Figure 7
@@ -210,18 +237,28 @@ where
     run_session_threads(sh, cfg.stack_size, f, move || supervise_policy(&sup, opts))
 }
 
+/// What a supervision closure hands back to the report assembly: the
+/// captured images, aborted attempts, and the coordinator's per-capture
+/// wall and storage accounting. Restore drivers return the default.
+#[derive(Default)]
+pub(crate) struct SuperviseOut {
+    pub(crate) checkpoints: Vec<Checkpoint>,
+    pub(crate) failures: Vec<DrainError>,
+    pub(crate) capture_wall_s: Vec<f64>,
+    pub(crate) capture_overlap_s: Vec<f64>,
+    pub(crate) store_records: Vec<StoreRecord>,
+}
+
 /// Drives the trigger policy over a running session: polls the published
 /// progress, fires the coordinator on policy demand, stops once the policy
 /// is exhausted or every rank has finished.
-fn supervise_policy(
-    sh: &Arc<Session>,
-    opts: CkptOptions,
-) -> (Vec<Checkpoint>, Vec<DrainError>, Vec<f64>) {
+fn supervise_policy(sh: &Arc<Session>, opts: CkptOptions) -> SuperviseOut {
     let mut policy = opts.policy;
     let mut checkpoints = Vec::new();
     let mut failures = Vec::new();
     let coord = Coordinator::new(Arc::clone(sh))
         .with_storage(opts.storage.clone())
+        .with_tiering(opts.tiering.clone())
         .with_stall_timeout(
             opts.stall_timeout
                 .unwrap_or_else(|| auto_stall_timeout(sh.cfg.n_ranks, sh.cfg.resolved_workers())),
@@ -241,8 +278,16 @@ fn supervise_policy(
             std::thread::sleep(Duration::from_micros(200));
         }
     }
-    let capture_walls = coord.capture_wall_history();
-    (checkpoints, failures, capture_walls)
+    // A run must not end with an image still in flight: land the last
+    // background drain before reading the histories.
+    coord.flush_drains();
+    SuperviseOut {
+        checkpoints,
+        failures,
+        capture_wall_s: coord.capture_wall_history(),
+        capture_overlap_s: coord.capture_overlap_history(),
+        store_records: coord.store_record_history(),
+    }
 }
 
 /// The shared scaffold of [`run_ckpt_world`] and
@@ -255,7 +300,7 @@ pub(crate) fn run_session_threads<R, F>(
     sh: Arc<Session>,
     stack_size: usize,
     f: F,
-    supervise: impl FnOnce() -> (Vec<Checkpoint>, Vec<DrainError>, Vec<f64>),
+    supervise: impl FnOnce() -> SuperviseOut,
 ) -> Result<CkptRunReport<R>, SpawnError>
 where
     R: Send,
@@ -263,9 +308,7 @@ where
 {
     let n = sh.cfg.n_ranks;
     let mut reports: Vec<Option<RankReport<R>>> = (0..n).map(|_| None).collect();
-    let mut checkpoints = Vec::new();
-    let mut failures = Vec::new();
-    let mut capture_wall_s = Vec::new();
+    let mut sup_out = SuperviseOut::default();
     let mut spawn_err = None;
     let gate = Arc::new(LaunchGate::new());
     // The scheduler outlives every lower-half generation: grab it once
@@ -327,7 +370,7 @@ where
         if spawn_err.is_none() {
             // Supervision (triggers or restore driving) runs on the
             // calling thread.
-            (checkpoints, failures, capture_wall_s) = supervise();
+            sup_out = supervise();
         }
 
         for (rank, h) in handles.into_iter().enumerate() {
@@ -358,13 +401,15 @@ where
     Ok(CkptRunReport {
         ranks,
         makespan,
-        checkpoints,
-        failures,
+        checkpoints: sup_out.checkpoints,
+        failures: sup_out.failures,
         final_counters,
         trace: sh.trace.clone(),
         events: sh.exec_log.events(),
         backstop_expiries: sh.backstop_expiries(),
-        capture_wall_s,
+        capture_wall_s: sup_out.capture_wall_s,
+        capture_overlap_s: sup_out.capture_overlap_s,
+        store_records: sup_out.store_records,
         rank_build_rss_bytes: None,
     })
 }

@@ -17,9 +17,7 @@
 //! representations — the representation-equivalence tests restore images
 //! captured under one representation into the other.
 
-use super::{supervise_policy, CkptOptions, CkptRunReport};
-use crate::coordinator::DrainError;
-use crate::image::Checkpoint;
+use super::{supervise_policy, CkptOptions, CkptRunReport, SuperviseOut};
 use crate::rank::step::StepRank;
 use crate::session::Session;
 use mana_core::{CallCounters, RankState};
@@ -171,7 +169,7 @@ pub(crate) fn run_session_steps<B, MK>(
     sh: Arc<Session>,
     stack_size: usize,
     make: MK,
-    supervise: impl FnOnce() -> (Vec<Checkpoint>, Vec<DrainError>, Vec<f64>),
+    supervise: impl FnOnce() -> SuperviseOut,
 ) -> Result<CkptRunReport<B::Out>, SpawnError>
 where
     B: StepBody,
@@ -246,9 +244,7 @@ where
         _ => None,
     };
 
-    let mut checkpoints = Vec::new();
-    let mut failures = Vec::new();
-    let mut capture_wall_s = Vec::new();
+    let mut sup_out = SuperviseOut::default();
     let workers = sh.cfg.resolved_workers();
     std::thread::scope(|s| {
         let driver = &driver;
@@ -261,7 +257,7 @@ where
         });
         gate.decide(spawn_err.is_none());
         if spawn_err.is_none() {
-            (checkpoints, failures, capture_wall_s) = supervise();
+            sup_out = supervise();
         }
     });
     if let Some(e) = spawn_err {
@@ -288,13 +284,15 @@ where
     Ok(CkptRunReport {
         ranks,
         makespan,
-        checkpoints,
-        failures,
+        checkpoints: sup_out.checkpoints,
+        failures: sup_out.failures,
         final_counters,
         trace: sh.trace.clone(),
         events: sh.exec_log.events(),
         backstop_expiries: sh.backstop_expiries(),
-        capture_wall_s,
+        capture_wall_s: sup_out.capture_wall_s,
+        capture_overlap_s: sup_out.capture_overlap_s,
+        store_records: sup_out.store_records,
         rank_build_rss_bytes,
     })
 }

@@ -1,0 +1,563 @@
+//! Incremental (delta) checkpoint images with content-addressed chunks.
+//!
+//! A delta image serializes one checkpoint **relative to a parent
+//! generation**: the small volatile half of every rank (state, clock,
+//! pending barrier, flow counts) is carried inline, while the
+//! restart-stable half — sequence tables, communicator logs, pending
+//! receives, call counters, vcomm maps — is referenced as a
+//! **content-addressed chunk** `(fnv1a64(bytes), len)`. Only chunks absent
+//! from the ancestor chain are inlined, so a checkpoint where few ranks
+//! progressed serializes a few kilobytes instead of the full image. The
+//! drained in-flight set is its own chunk, and the cut-event log is
+//! written as a parent-prefix length plus the new tail.
+//!
+//! Resolution walks the chain root → leaf through a [`ChunkPool`]: the
+//! full root contributes every rank's re-encoded stable section (encoding
+//! is deterministic, so re-encoding reproduces the chunk bytes the deltas
+//! hashed), each delta contributes its inline chunks, and
+//! [`DeltaImage::apply`] materializes the child checkpoint. Every failure
+//! mode — a missing parent, a chunk whose bytes do not match its declared
+//! hash, a cut prefix longer than the parent's log — is a typed
+//! [`ImageError`], never a panic.
+
+use crate::image::{
+    self, dec_capture_stable, dec_drained, dec_event, dec_params, dec_target_map, dec_vtime,
+    enc_capture_stable, enc_drained, enc_event, enc_params, enc_target_map, protocol_code,
+    protocol_from_code, validate_image_header, validate_shape, Checkpoint, DrainedMsg, ImageError,
+    MemberIntern, IMAGE_HEADER_LEN, IMAGE_KIND_DELTA, IMAGE_KIND_FULL, IMAGE_MAGIC, IMAGE_VERSION,
+};
+use crate::wire::{fnv1a64, CountEnc, Dec, Wr};
+use mana_core::{ExecEvent, Ggid, Protocol, RankState, RuntimeCapture};
+use mpisim::VTime;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Content address of one stable chunk: FNV-1a over the chunk bytes plus
+/// the byte length (the length guards the hash against trivial
+/// collisions between different-sized chunks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkRef {
+    /// FNV-1a 64-bit hash of the chunk bytes.
+    pub hash: u64,
+    /// Chunk length in bytes.
+    pub len: u64,
+}
+
+/// The inline (per-checkpoint) half of one rank's capture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VolatileRecord {
+    /// Rank state at capture.
+    pub state: RankState,
+    /// Virtual clock at capture.
+    pub clock: VTime,
+    /// Pending trivial barrier, if parked in one.
+    pub pending_barrier: Option<(u64, u64)>,
+    /// p2p messages sent this generation.
+    pub p2p_sent: u64,
+    /// p2p messages delivered this generation.
+    pub p2p_delivered: u64,
+}
+
+/// An incremental checkpoint image: everything needed to rebuild a
+/// [`Checkpoint`] given its parent generation and the chunk bytes the
+/// ancestor chain already carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaImage {
+    /// This image's generation number.
+    pub generation: u64,
+    /// The generation this delta is relative to.
+    pub parent_generation: u64,
+    /// The parent image's header checksum — the chain-integrity
+    /// fingerprint checked at resolution.
+    pub parent_checksum: u64,
+    /// Lower-half epoch of the child checkpoint.
+    pub epoch: u64,
+    /// World size (must match the parent's).
+    pub n_ranks: usize,
+    /// Protocol of the child checkpoint.
+    pub protocol: Protocol,
+    /// Capture origin of the child checkpoint.
+    pub origin: image::CaptureOrigin,
+    /// Request clock of the child checkpoint.
+    pub request_clock: VTime,
+    /// Algorithm 1 initial targets.
+    pub initial_targets: HashMap<Ggid, u64>,
+    /// Final drain targets.
+    pub final_targets: HashMap<Ggid, u64>,
+    /// Achieved per-group maxima.
+    pub achieved: HashMap<Ggid, u64>,
+    /// Virtual write seconds charged for this image.
+    pub io_write_secs: f64,
+    /// Virtual read seconds charged for this image.
+    pub io_read_secs: f64,
+    /// How many leading cut events are shared verbatim with the parent.
+    pub parent_cut_prefix: usize,
+    /// Cut events beyond the shared prefix.
+    pub cut_tail: Vec<ExecEvent>,
+    /// Content address of the drained in-flight set.
+    pub in_flight_ref: ChunkRef,
+    /// Per-rank volatile records, indexed by rank.
+    pub volatile: Vec<VolatileRecord>,
+    /// Per-rank stable-chunk references, indexed by rank.
+    pub rank_refs: Vec<ChunkRef>,
+    /// Chunks not present anywhere in the ancestor chain, sorted by
+    /// `(hash, len)` for deterministic bytes.
+    pub new_chunks: Vec<(ChunkRef, Vec<u8>)>,
+}
+
+/// A parsed image payload: either a self-contained full checkpoint or a
+/// delta that must be resolved against its parent chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImagePayload {
+    /// A self-contained image.
+    Full(Checkpoint),
+    /// An incremental image.
+    Delta(DeltaImage),
+}
+
+impl ImagePayload {
+    /// Parses a serialized image of either kind, validating the shared
+    /// header (magic, version, length, checksum) first.
+    pub fn from_bytes(buf: &[u8]) -> Result<ImagePayload, ImageError> {
+        let (payload, _checksum) = validate_image_header(buf)?;
+        match payload.first().copied() {
+            Some(IMAGE_KIND_FULL) => Ok(ImagePayload::Full(Checkpoint::from_bytes(buf)?)),
+            Some(IMAGE_KIND_DELTA) => Ok(ImagePayload::Delta(DeltaImage::dec_payload(payload)?)),
+            Some(_) => Err(ImageError::Malformed("image kind")),
+            None => Err(ImageError::Malformed("empty payload")),
+        }
+    }
+}
+
+/// Encodes one rank's restart-stable half as a standalone chunk.
+pub(crate) fn stable_chunk_bytes(c: &RuntimeCapture) -> Vec<u8> {
+    let mut out: Vec<u8> = Vec::new();
+    enc_capture_stable(&mut out, c);
+    out
+}
+
+/// Encodes the drained in-flight set as a standalone chunk.
+pub(crate) fn in_flight_chunk_bytes(in_flight: &[DrainedMsg]) -> Vec<u8> {
+    let mut out: Vec<u8> = Vec::new();
+    out.usize(in_flight.len());
+    for m in in_flight {
+        enc_drained(&mut out, m);
+    }
+    out
+}
+
+fn chunk_ref(bytes: &[u8]) -> ChunkRef {
+    ChunkRef {
+        hash: fnv1a64(bytes),
+        len: bytes.len() as u64,
+    }
+}
+
+/// The chunk refs a full image contributes to its descendants' dedup set:
+/// one per rank plus the in-flight chunk.
+pub fn full_image_refs(image: &Checkpoint) -> Vec<ChunkRef> {
+    let mut refs: Vec<ChunkRef> = image
+        .captures
+        .iter()
+        .map(|c| chunk_ref(&stable_chunk_bytes(c)))
+        .collect();
+    refs.push(chunk_ref(&in_flight_chunk_bytes(&image.in_flight)));
+    refs
+}
+
+/// Chunk bytes available while resolving a delta chain: the root's
+/// re-encoded stable sections plus every delta's inline chunks, keyed by
+/// content address.
+#[derive(Default)]
+pub struct ChunkPool {
+    map: HashMap<ChunkRef, Arc<[u8]>>,
+}
+
+impl ChunkPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds every chunk derivable from a full image: each rank's stable
+    /// section and the in-flight set, re-encoded (encoding is
+    /// deterministic, so these are byte-identical to what descendants
+    /// hashed at build time).
+    pub fn absorb_full(&mut self, image: &Checkpoint) {
+        for c in &image.captures {
+            let b = stable_chunk_bytes(c);
+            self.map.entry(chunk_ref(&b)).or_insert_with(|| b.into());
+        }
+        let b = in_flight_chunk_bytes(&image.in_flight);
+        self.map.entry(chunk_ref(&b)).or_insert_with(|| b.into());
+    }
+
+    /// Adds a delta's inline chunks.
+    pub fn absorb_delta(&mut self, d: &DeltaImage) {
+        for (r, b) in &d.new_chunks {
+            self.map.entry(*r).or_insert_with(|| b.clone().into());
+        }
+    }
+
+    /// Looks a chunk up by content address.
+    pub fn get(&self, r: ChunkRef) -> Option<&[u8]> {
+        self.map.get(&r).map(|b| &b[..])
+    }
+}
+
+impl DeltaImage {
+    /// Builds a delta for `current` against the parent generation
+    /// `(parent_generation, parent_checksum, parent)`. `known` is the set
+    /// of chunk addresses already derivable from the ancestor chain; only
+    /// chunks outside it are inlined.
+    ///
+    /// # Panics
+    /// Panics if `current` and `parent` disagree on world size — the
+    /// caller must fall back to a full image across repacks.
+    pub fn build(
+        generation: u64,
+        parent_generation: u64,
+        parent_checksum: u64,
+        parent: &Checkpoint,
+        known: &std::collections::HashSet<ChunkRef>,
+        current: &Checkpoint,
+    ) -> DeltaImage {
+        assert_eq!(
+            parent.n_ranks, current.n_ranks,
+            "delta images require a same-shape parent"
+        );
+        let mut new_chunks: Vec<(ChunkRef, Vec<u8>)> = Vec::new();
+        let mut inline = |b: Vec<u8>| -> ChunkRef {
+            let r = chunk_ref(&b);
+            if !known.contains(&r) && !new_chunks.iter().any(|(x, _)| *x == r) {
+                new_chunks.push((r, b));
+            }
+            r
+        };
+        let rank_refs: Vec<ChunkRef> = current
+            .captures
+            .iter()
+            .map(|c| inline(stable_chunk_bytes(c)))
+            .collect();
+        let in_flight_ref = inline(in_flight_chunk_bytes(&current.in_flight));
+        new_chunks.sort_unstable_by_key(|(r, _)| (r.hash, r.len));
+
+        // The execution log is append-only between checkpoints, so the
+        // common case is "the parent's log is a prefix of ours".
+        let plen = parent.cut_events.len();
+        let (parent_cut_prefix, cut_tail) = if current.cut_events.len() >= plen
+            && current.cut_events[..plen] == parent.cut_events[..]
+        {
+            (plen, current.cut_events[plen..].to_vec())
+        } else {
+            (0, current.cut_events.clone())
+        };
+
+        let volatile = current
+            .captures
+            .iter()
+            .map(|c| VolatileRecord {
+                state: c.state,
+                clock: c.clock,
+                pending_barrier: c.pending_barrier,
+                p2p_sent: c.p2p_sent,
+                p2p_delivered: c.p2p_delivered,
+            })
+            .collect();
+
+        DeltaImage {
+            generation,
+            parent_generation,
+            parent_checksum,
+            epoch: current.epoch,
+            n_ranks: current.n_ranks,
+            protocol: current.protocol,
+            origin: current.origin.clone(),
+            request_clock: current.request_clock,
+            initial_targets: current.initial_targets.clone(),
+            final_targets: current.final_targets.clone(),
+            achieved: current.achieved.clone(),
+            io_write_secs: current.io_write_secs,
+            io_read_secs: current.io_read_secs,
+            parent_cut_prefix,
+            cut_tail,
+            in_flight_ref,
+            volatile,
+            rank_refs,
+            new_chunks,
+        }
+    }
+
+    /// Materializes the child checkpoint from this delta, its resolved
+    /// parent, and a pool holding every chunk of the ancestor chain.
+    pub fn apply(&self, parent: &Checkpoint, pool: &ChunkPool) -> Result<Checkpoint, ImageError> {
+        if self.volatile.len() != self.n_ranks || self.rank_refs.len() != self.n_ranks {
+            return Err(ImageError::DeltaChain("per-rank record count"));
+        }
+        if parent.n_ranks != self.n_ranks {
+            return Err(ImageError::DeltaChain("parent world size mismatch"));
+        }
+        if self.parent_cut_prefix > parent.cut_events.len() {
+            return Err(ImageError::DeltaChain("cut prefix beyond parent log"));
+        }
+        let mut cut_events = Vec::with_capacity(self.parent_cut_prefix + self.cut_tail.len());
+        cut_events.extend_from_slice(&parent.cut_events[..self.parent_cut_prefix]);
+        cut_events.extend_from_slice(&self.cut_tail);
+
+        let in_bytes = pool
+            .get(self.in_flight_ref)
+            .ok_or(ImageError::DeltaChain("missing in-flight chunk"))?;
+        let mut d = Dec::new(in_bytes);
+        let n_msgs = d.seq_len("in-flight count")?;
+        let mut in_flight = Vec::with_capacity(n_msgs);
+        for _ in 0..n_msgs {
+            in_flight.push(dec_drained(&mut d)?);
+        }
+        if !d.finished() {
+            return Err(ImageError::DeltaChain("in-flight chunk length"));
+        }
+
+        let mut intern = MemberIntern::default();
+        let mut captures = Vec::with_capacity(self.n_ranks);
+        for (rank, (v, r)) in self.volatile.iter().zip(&self.rank_refs).enumerate() {
+            let bytes = pool
+                .get(*r)
+                .ok_or(ImageError::DeltaChain("missing stable chunk"))?;
+            let mut d = Dec::new(bytes);
+            let stable = dec_capture_stable(&mut d, &mut intern)?;
+            if !d.finished() {
+                return Err(ImageError::DeltaChain("stable chunk length"));
+            }
+            captures.push(stable.into_capture(
+                rank,
+                v.state,
+                v.clock,
+                v.pending_barrier,
+                v.p2p_sent,
+                v.p2p_delivered,
+            ));
+        }
+
+        let ckpt = Checkpoint {
+            epoch: self.epoch,
+            n_ranks: self.n_ranks,
+            protocol: self.protocol,
+            origin: self.origin.clone(),
+            request_clock: self.request_clock,
+            initial_targets: self.initial_targets.clone(),
+            final_targets: self.final_targets.clone(),
+            achieved: self.achieved.clone(),
+            captures,
+            in_flight,
+            cut_events,
+            io_write_secs: self.io_write_secs,
+            io_read_secs: self.io_read_secs,
+        };
+        validate_shape(&ckpt)?;
+        Ok(ckpt)
+    }
+
+    fn enc_head<W: Wr>(&self, p: &mut W) {
+        p.u8(IMAGE_KIND_DELTA);
+        p.u64(self.generation);
+        p.u64(self.parent_generation);
+        p.u64(self.parent_checksum);
+        p.u64(self.epoch);
+        p.usize(self.n_ranks);
+        p.u8(protocol_code(self.protocol));
+        p.usize(self.origin.ranks_per_node);
+        enc_params(p, &self.origin.params);
+        p.f64(self.request_clock.as_secs());
+        enc_target_map(p, &self.initial_targets);
+        enc_target_map(p, &self.final_targets);
+        enc_target_map(p, &self.achieved);
+        p.f64(self.io_write_secs);
+        p.f64(self.io_read_secs);
+        p.usize(self.parent_cut_prefix);
+        p.usize(self.cut_tail.len());
+        for e in &self.cut_tail {
+            enc_event(p, e);
+        }
+        p.u64(self.in_flight_ref.hash);
+        p.u64(self.in_flight_ref.len);
+        p.usize(self.volatile.len());
+        for v in &self.volatile {
+            p.u8(v.state as u8);
+            p.f64(v.clock.as_secs());
+            match v.pending_barrier {
+                None => p.u8(0),
+                Some((vc, ord)) => {
+                    p.u8(1);
+                    p.u64(vc);
+                    p.u64(ord);
+                }
+            }
+            p.u64(v.p2p_sent);
+            p.u64(v.p2p_delivered);
+        }
+        p.usize(self.rank_refs.len());
+        for r in &self.rank_refs {
+            p.u64(r.hash);
+            p.u64(r.len);
+        }
+        p.usize(self.new_chunks.len());
+    }
+
+    /// Serializes the delta under the shared v4 header (magic, version,
+    /// length, FNV-1a checksum), kind byte [`IMAGE_KIND_DELTA`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload: Vec<u8> = Vec::new();
+        self.enc_head(&mut payload);
+        for (r, b) in &self.new_chunks {
+            payload.u64(r.hash);
+            payload.bytes(b);
+        }
+        let mut out: Vec<u8> = Vec::with_capacity(IMAGE_HEADER_LEN + payload.len());
+        out.raw(&IMAGE_MAGIC);
+        out.u32(IMAGE_VERSION);
+        out.usize(payload.len());
+        out.u64(fnv1a64(&payload));
+        out.raw(&payload);
+        out
+    }
+
+    /// Byte range of every inline chunk's content within
+    /// [`DeltaImage::to_bytes`] output, in `new_chunks` order — the
+    /// wire-fuzz suite aims checksum-repaired mutations at these
+    /// boundaries.
+    pub fn chunk_byte_ranges(&self) -> Vec<Range<usize>> {
+        let mut head = CountEnc::new();
+        self.enc_head(&mut head);
+        let mut at = IMAGE_HEADER_LEN + head.count();
+        self.new_chunks
+            .iter()
+            .map(|(_, b)| {
+                // Each entry is `u64 hash` + length-prefixed bytes.
+                at += 8 + 8;
+                let r = at..at + b.len();
+                at += b.len();
+                r
+            })
+            .collect()
+    }
+
+    /// Decodes a delta from an authenticated payload (kind byte
+    /// included). Chunk contents are re-hashed here: a chunk whose bytes
+    /// disagree with its declared address is rejected before it can
+    /// poison the dedup pool.
+    pub(crate) fn dec_payload(payload: &[u8]) -> Result<DeltaImage, ImageError> {
+        let mut d = Dec::new(payload);
+        if d.u8("image kind")? != IMAGE_KIND_DELTA {
+            return Err(ImageError::Malformed("image kind"));
+        }
+        let generation = d.u64("generation")?;
+        let parent_generation = d.u64("parent generation")?;
+        let parent_checksum = d.u64("parent checksum")?;
+        let epoch = d.u64("epoch")?;
+        let n_ranks = d.usize("n_ranks")?;
+        let protocol = protocol_from_code(d.u8("protocol")?)?;
+        let origin = image::CaptureOrigin {
+            ranks_per_node: d.usize("ranks_per_node")?,
+            params: dec_params(&mut d)?,
+        };
+        let request_clock = dec_vtime(&mut d, "request clock")?;
+        let initial_targets = dec_target_map(&mut d, "initial targets")?;
+        let final_targets = dec_target_map(&mut d, "final targets")?;
+        let achieved = dec_target_map(&mut d, "achieved map")?;
+        let io_write_secs = d.f64("io_write_secs")?;
+        let io_read_secs = d.f64("io_read_secs")?;
+        let parent_cut_prefix = d.usize("parent cut prefix")?;
+        let n_tail = d.seq_len("cut-tail count")?;
+        let mut intern = MemberIntern::default();
+        let mut cut_tail = Vec::with_capacity(n_tail);
+        for _ in 0..n_tail {
+            cut_tail.push(dec_event(&mut d, &mut intern)?);
+        }
+        let in_flight_ref = ChunkRef {
+            hash: d.u64("in-flight chunk hash")?,
+            len: d.u64("in-flight chunk len")?,
+        };
+        let n_vol = d.seq_len("volatile count")?;
+        if n_vol != n_ranks {
+            return Err(ImageError::Malformed("volatile count vs n_ranks"));
+        }
+        let mut volatile = Vec::with_capacity(n_vol);
+        for _ in 0..n_vol {
+            let state = match d.u8("capture state")? {
+                s @ 0..=6 => RankState::from_u8(s),
+                _ => return Err(ImageError::Malformed("capture state")),
+            };
+            let clock = dec_vtime(&mut d, "capture clock")?;
+            let pending_barrier = match d.u8("pending-barrier tag")? {
+                0 => None,
+                1 => Some((
+                    d.u64("pending-barrier vcomm")?,
+                    d.u64("pending-barrier ordinal")?,
+                )),
+                _ => return Err(ImageError::Malformed("pending-barrier tag")),
+            };
+            volatile.push(VolatileRecord {
+                state,
+                clock,
+                pending_barrier,
+                p2p_sent: d.u64("p2p sent")?,
+                p2p_delivered: d.u64("p2p delivered")?,
+            });
+        }
+        let n_refs = d.seq_len("rank-ref count")?;
+        if n_refs != n_ranks {
+            return Err(ImageError::Malformed("rank-ref count vs n_ranks"));
+        }
+        let mut rank_refs = Vec::with_capacity(n_refs);
+        for _ in 0..n_refs {
+            rank_refs.push(ChunkRef {
+                hash: d.u64("rank chunk hash")?,
+                len: d.u64("rank chunk len")?,
+            });
+        }
+        let n_chunks = d.seq_len("new-chunk count")?;
+        let mut new_chunks = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            let hash = d.u64("chunk hash")?;
+            let bytes = d.bytes("chunk bytes")?.to_vec();
+            if fnv1a64(&bytes) != hash {
+                return Err(ImageError::DeltaChain("chunk content hash mismatch"));
+            }
+            new_chunks.push((
+                ChunkRef {
+                    hash,
+                    len: bytes.len() as u64,
+                },
+                bytes,
+            ));
+        }
+        if !d.finished() {
+            return Err(ImageError::Malformed("trailing bytes"));
+        }
+        if n_ranks == 0 || origin.ranks_per_node == 0 {
+            return Err(ImageError::Malformed("world shape"));
+        }
+        Ok(DeltaImage {
+            generation,
+            parent_generation,
+            parent_checksum,
+            epoch,
+            n_ranks,
+            protocol,
+            origin,
+            request_clock,
+            initial_targets,
+            final_targets,
+            achieved,
+            io_write_secs,
+            io_read_secs,
+            parent_cut_prefix,
+            cut_tail,
+            in_flight_ref,
+            volatile,
+            rank_refs,
+            new_chunks,
+        })
+    }
+}

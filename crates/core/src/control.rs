@@ -272,7 +272,10 @@ pub struct CkptControl {
     /// The asynchronous checkpoint-request flag (the "signal").
     pending: AtomicBool,
     phase: AtomicU8,
-    /// Count of *completed* checkpoints.
+    /// Count of *retired* checkpoint attempts (committed or aborted).
+    /// Ranks key per-checkpoint caches (installed drain targets) on this:
+    /// it must advance before the next request opens, even when the
+    /// not-pending gap between two attempts is too short to observe.
     pub ckpt_epoch: AtomicU64,
     /// Lower-half generation ranks should be attached to (bumped by warm
     /// restart); ranks compare at resume.

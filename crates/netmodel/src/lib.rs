@@ -20,8 +20,10 @@
 //!   participant. MANA's old 2PC protocol inserts a barrier before every
 //!   collective, which de-pipelines the non-synchronizing ones and amplifies
 //!   straggler jitter — exactly the overhead Figure 5a of the paper shows.
-//! * [`storage`] — a striped parallel-filesystem (Lustre-style) model for
-//!   checkpoint/restart timing (Figure 9).
+//! * [`storage`] — checkpoint-storage timing models: a striped
+//!   parallel-filesystem (Lustre-style) model plus the node-local memory
+//!   and partner-replica tiers of the SCR/FTI multi-level design
+//!   (Figure 9 and the tier sweep).
 //!
 //! All models are deterministic: jitter is derived from a seed plus the
 //! collective instance id and rank, never from wall-clock entropy, so every
@@ -37,6 +39,6 @@ pub mod topology;
 pub use collectives::{exit_times, CollOp};
 pub use cost::{p2p_cost, wrapper_cost};
 pub use params::{NetParams, NetPreset};
-pub use storage::LustreModel;
+pub use storage::{LustreModel, MemoryTierModel, PartnerTierModel};
 pub use time::VTime;
 pub use topology::Topology;

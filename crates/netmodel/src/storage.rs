@@ -116,6 +116,91 @@ impl Default for LustreModel {
     }
 }
 
+/// Node-local in-memory checkpoint tier (SCR/FTI "cp2m"): the image is
+/// copied into a reserved DRAM region on the node that produced it. The
+/// cheapest tier — a single memory-bandwidth-bound copy, no network, no
+/// filesystem — and the least durable: lose the node, lose the copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryTierModel {
+    /// Sustained single-node memcpy bandwidth into the reserve (bytes/sec).
+    pub copy_bw: f64,
+    /// Fixed per-checkpoint setup cost (seconds): buffer arm + bookkeeping.
+    pub fixed_overhead: f64,
+}
+
+impl MemoryTierModel {
+    /// DDR-class node memory: every node copies its own shard in parallel,
+    /// so only the per-node byte count matters.
+    pub fn ddr() -> Self {
+        MemoryTierModel {
+            copy_bw: 40e9,
+            fixed_overhead: 0.5e-6,
+        }
+    }
+
+    /// Seconds to copy one node's `bytes_per_node` shard into the reserve.
+    /// All nodes copy concurrently, so this is also the job-visible time.
+    pub fn write_time(&self, bytes_per_node: u64) -> f64 {
+        self.fixed_overhead + bytes_per_node as f64 / self.copy_bw
+    }
+
+    /// Seconds to copy a node's shard back out at restart.
+    pub fn read_time(&self, bytes_per_node: u64) -> f64 {
+        self.write_time(bytes_per_node)
+    }
+}
+
+impl Default for MemoryTierModel {
+    fn default() -> Self {
+        Self::ddr()
+    }
+}
+
+/// Partner-replica checkpoint tier (SCR "partner", FTI/MPI-FT-Bench
+/// "cp2a"): each node mirrors its image shard to a buddy node over the
+/// interconnect, so any single node loss leaves a surviving replica. The
+/// cost is one inter-node point-to-point transfer of the node's shard —
+/// all buddy pairs exchange concurrently on a full-bisection fabric, so
+/// again only the per-node byte count matters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartnerTierModel {
+    /// Per-message latency for the buddy transfer (seconds); includes the
+    /// pairing handshake.
+    pub link_alpha: f64,
+    /// Effective per-node inter-node bandwidth for bulk shards (bytes/sec).
+    pub link_bw: f64,
+}
+
+impl PartnerTierModel {
+    /// Slingshot-11-class buddy link: large-message effective bandwidth a
+    /// little above the `NetParams` `beta_inter` rate (bulk RDMA streams
+    /// better than the small-message beta).
+    pub fn slingshot11() -> Self {
+        PartnerTierModel {
+            link_alpha: 2e-6,
+            link_bw: 25e9,
+        }
+    }
+
+    /// Seconds for every node to push its `bytes_per_node` shard to its
+    /// buddy (pairwise exchange, concurrent across pairs).
+    pub fn write_time(&self, bytes_per_node: u64) -> f64 {
+        self.link_alpha + bytes_per_node as f64 / self.link_bw
+    }
+
+    /// Seconds to pull a shard back from the surviving buddy at restart —
+    /// the same single-link transfer in the other direction.
+    pub fn read_time(&self, bytes_per_node: u64) -> f64 {
+        self.write_time(bytes_per_node)
+    }
+}
+
+impl Default for PartnerTierModel {
+    fn default() -> Self {
+        Self::slingshot11()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +256,39 @@ mod tests {
     #[should_panic]
     fn zero_nodes_rejected() {
         LustreModel::perlmutter_scratch().write_time(0, 1, 1);
+    }
+
+    #[test]
+    fn tier_write_costs_order_memory_partner_lustre() {
+        // The tiering story only makes sense if the levels are strictly
+        // ordered: DRAM copy < buddy-link transfer < Lustre, for every
+        // per-node shard size the Figure 9 sweep visits.
+        let mem = MemoryTierModel::ddr();
+        let partner = PartnerTierModel::slingshot11();
+        let lustre = LustreModel::perlmutter_scratch();
+        for &files in &[4usize, 64, 128] {
+            for &nodes in &[1usize, 2, 8, 16] {
+                for &bpf in &[64u64 << 20, IMG, 1u64 << 30] {
+                    let bytes_per_node = files as u64 * bpf;
+                    let m = mem.write_time(bytes_per_node);
+                    let p = partner.write_time(bytes_per_node);
+                    let l = lustre.write_time(nodes, files, bpf);
+                    assert!(
+                        m < p && p < l,
+                        "nodes={nodes} files={files} bpf={bpf}: {m} {p} {l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tier_reads_mirror_writes() {
+        let mem = MemoryTierModel::ddr();
+        let partner = PartnerTierModel::slingshot11();
+        let b = 128 * IMG;
+        assert_eq!(mem.read_time(b), mem.write_time(b));
+        assert_eq!(partner.read_time(b), partner.write_time(b));
     }
 
     #[test]

@@ -3,8 +3,14 @@
 //! per node), plus real captured images serialized through the wire format
 //! at small world sizes, plus the capture-pipeline sweep (`capture_wall_s`:
 //! parallel zero-copy encode wall time over synthetic images at 512–4096
-//! ranks, asserted flat per rank). Writes `BENCH_figure9.json` into the
-//! current directory, next to the protocol bench's `BENCH_protocols.json`.
+//! ranks, asserted flat per rank), plus the multi-level storage additions:
+//! the tier × changed-ratio sweep (memory / partner / Lustre write and
+//! read cost per cell, asserted strictly ordered), the measured
+//! full-vs-delta cell at 4096 ranks (asserted ≥5× smaller with ~10% of
+//! ranks changed), and the sync-vs-async drain comparison (asserted to
+//! move the image write off the app-visible path). Writes
+//! `BENCH_figure9.json` into the current directory, next to the protocol
+//! bench's `BENCH_protocols.json`.
 //!
 //! ```sh
 //! cargo run --release --example figure9_bench
@@ -80,12 +86,76 @@ fn main() {
     // parallel zero-copy encoder superlinear time.
     bench::assert_figure9_capture_shape(&report.capture);
 
+    println!();
+    println!(
+        "{:<8} {:>8} {:>7} {:>16} {:>12} {:>12}",
+        "tier", "ratio", "nodes", "total(GiB)", "write(s)", "read(s)"
+    );
+    for t in &report.tiers {
+        println!(
+            "{:<8} {:>8.2} {:>7} {:>16.1} {:>12.3} {:>12.3}",
+            t.tier,
+            t.changed_ratio,
+            t.nodes,
+            t.total_bytes as f64 / (1u64 << 30) as f64,
+            t.write_s,
+            t.read_s,
+        );
+    }
+    // The storage-tier shape: every (ratio × nodes) cell must order the
+    // partner replica strictly between node-local memory and Lustre.
+    bench::assert_figure9_tier_order(&report.tiers);
+
+    let delta = report.delta.as_ref().expect("delta cell enabled");
+    println!();
+    println!(
+        "delta cell: {} ranks, {} changed -> full {} B, delta {} B ({:.1}x smaller, {} chunks)",
+        delta.ranks,
+        delta.changed_ranks,
+        delta.full_bytes,
+        delta.delta_bytes,
+        delta.shrink_factor,
+        delta.delta_chunks,
+    );
+    // The incremental-image shape: ≥5× smaller than the full parent at
+    // 4096 ranks with <25% of ranks changed.
+    bench::assert_figure9_delta_shape(delta);
+
+    let drain = report.drain.as_ref().expect("drain comparison enabled");
+    println!();
+    println!(
+        "drain: {} ckpts at {} ranks — makespan sync {:.4}s vs async {:.4}s, \
+         blocking wall sync {:.6}s vs async {:.6}s",
+        drain.checkpoints,
+        drain.ranks,
+        drain.sync_makespan_s,
+        drain.async_makespan_s,
+        drain.sync_blocking_wall_s,
+        drain.async_blocking_wall_s,
+    );
+    for r in &drain.records {
+        println!(
+            "  gen {} [{}]: write {:.4}s, backpressure {:.4}s, \
+             blocking {:.6}s, overlapped {:.6}s",
+            r.generation,
+            r.tier,
+            r.modeled_write_s,
+            r.backpressure_s,
+            r.blocking_wall_s,
+            r.overlapped_wall_s,
+        );
+    }
+    // The async-drain shape: the write cost retires off the app-visible
+    // blocking path.
+    bench::assert_figure9_drain_shape(drain);
+
     let json = figure9_to_json(&report);
     std::fs::write("BENCH_figure9.json", &json).expect("write BENCH_figure9.json");
     println!(
-        "\nwrote BENCH_figure9.json ({} model cells, {} measured images, {} bytes)",
+        "\nwrote BENCH_figure9.json ({} model cells, {} measured images, {} tier cells, {} bytes)",
         report.model.len(),
         report.measured.len(),
+        report.tiers.len(),
         json.len()
     );
 }
