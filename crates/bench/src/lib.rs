@@ -22,9 +22,14 @@ use mpisim::{NetParams, VTime, WorldConfig};
 use netmodel::LustreModel;
 use workloads::{bcast_pipeline, halo_exchange, scf_loop, BcastPipelineStep, HaloStep, ScfStep};
 
+pub mod availability;
 pub mod figure7;
 pub mod figure9;
 pub mod synth;
+pub use availability::{
+    assert_availability_shape, availability_report, availability_to_json, AvailabilityConfig,
+    AvailabilityPoint, AvailabilityReport, POLICY_LADDER,
+};
 pub use figure7::{
     figure7_cdf, figure7_report, figure7_to_json, Figure7CdfBucket, Figure7Config, Figure7Record,
 };

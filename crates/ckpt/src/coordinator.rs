@@ -24,7 +24,7 @@ use crate::store::{CkptTier, ImageSetLayout, StoreRecord, TieredStore, Tiering};
 use mana_core::{CkptPhase, DrainEvent, Ggid, Protocol, RankCtl, RankState, RuntimeCapture};
 use mpisim::msg::InFlightMsg;
 use mpisim::types::CommId;
-use mpisim::{SavedMsg, VTime, World, WorldConfig};
+use mpisim::{RankDeath, SavedMsg, VTime, World, WorldConfig};
 use netmodel::LustreModel;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -104,7 +104,7 @@ impl Default for StorageSpec {
 }
 
 /// Why a checkpoint attempt was aborted instead of committed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DrainError {
     /// The drain made no observable progress for the watchdog window: some
     /// below-target rank is blocked on a point-to-point dependency (e.g. a
@@ -132,6 +132,11 @@ pub enum DrainError {
         /// Messages checkpoint drains removed (including this capture's).
         drained: u64,
     },
+    /// An injected fault killed one or more ranks while the checkpoint was
+    /// in flight. The world is poisoned — every rank is unwinding — so the
+    /// attempt is abandoned rather than withdrawn; the availability
+    /// supervisor owns what happens next.
+    RankDeath(RankDeath),
 }
 
 impl std::fmt::Display for DrainError {
@@ -155,6 +160,9 @@ impl std::fmt::Display for DrainError {
                      {redeposited} != delivered {delivered} + drained {drained} \
                      (a message was lost or duplicated across the cut)"
                 )
+            }
+            DrainError::RankDeath(d) => {
+                write!(f, "checkpoint abandoned: {d}")
             }
         }
     }
@@ -318,6 +326,12 @@ impl Coordinator {
             // deadlock into a typed error instead of a hang.
             let mut watch = StallWatch::new(self.stall_timeout, self.progress_fingerprint());
             let finals = loop {
+                // Death check before the watchdog: a killed world stops
+                // making progress by design and must surface as the typed
+                // death, never as a spurious `P2pStall`.
+                if let Some(e) = self.death_abort() {
+                    return Err(e);
+                }
                 let mut finals = initial.clone();
                 let mut mems = members_of.clone();
                 for (g, (t, m)) in sh.bus.raises() {
@@ -348,7 +362,17 @@ impl Coordinator {
                     | RankState::Finished
             )
         }) {
+            if let Some(e) = self.death_abort() {
+                return Err(e);
+            }
             std::thread::sleep(POLL);
+        }
+        // A killed rank unwinds instead of parking, and its thread's
+        // teardown may leave it looking Finished — letting the loop above
+        // exit with no capture published. Re-check before touching the
+        // capture slots.
+        if let Some(e) = self.death_abort() {
+            return Err(e);
         }
         control.set_phase(CkptPhase::Capturing);
         let capture_t0 = Instant::now();
@@ -542,6 +566,7 @@ impl Coordinator {
                     backpressure_s: plan.backpressure_s,
                     blocking_wall_s: 0.0,
                     overlapped_wall_s: 0.0,
+                    landing_v_s: plan.landing_v_s,
                 });
                 rs.len() - 1
             };
@@ -563,6 +588,8 @@ impl Coordinator {
                 rs[idx].delta_parent = receipt.delta_parent;
                 rs[idx].serialized_bytes = receipt.bytes;
             } else {
+                let session = Arc::clone(&self.sh);
+                session.bg_drain_inflight.store(true, SeqCst);
                 let handle = std::thread::Builder::new()
                     .name("ckpt-drain".into())
                     .spawn(move || {
@@ -575,6 +602,8 @@ impl Coordinator {
                         rs[idx].delta_parent = receipt.delta_parent;
                         rs[idx].serialized_bytes = receipt.bytes;
                         rs[idx].overlapped_wall_s = overlapped;
+                        drop(rs);
+                        session.bg_drain_inflight.store(false, SeqCst);
                     })
                     .expect("spawn checkpoint drain thread");
                 *self.pending_drain.lock() = Some(handle);
@@ -666,17 +695,22 @@ impl Coordinator {
         // Restart always drains synchronously: the world is down while the
         // image writes; there is no application to overlap with.
         let sync = !t.async_drain || mode == ResumeMode::Restart;
-        let backpressure_s = if sync {
-            0.0
+        let now_v = self.sh.control.min_clock_secs();
+        let (backpressure_s, landing_v_s) = if sync {
+            // Ranks resume only after the write retires, so the image is
+            // durable before any rank makes further progress: it lands at
+            // the commit instant (the write charge lands on the ranks'
+            // clocks, not on the image's availability).
+            (0.0, now_v)
         } else {
             // Back-pressure rule, virtual side: a trigger firing before
             // the previous drain's modeled landing point pays the
-            // remainder; then this drain occupies the next write window.
-            let now_v = self.sh.control.min_clock_secs();
+            // remainder; then this drain occupies the next write window —
+            // and lands when that window closes.
             let mut busy = self.drain_busy_until.lock();
             let bp = (*busy - now_v).max(0.0);
             *busy = busy.max(now_v) + modeled_write_s;
-            bp
+            (bp, *busy)
         };
         TierPlan {
             store,
@@ -687,6 +721,7 @@ impl Coordinator {
             modeled_write_s,
             modeled_read_s,
             backpressure_s,
+            landing_v_s,
             sync,
         }
     }
@@ -755,6 +790,12 @@ impl Coordinator {
         }
         control.set_phase(CkptPhase::Resuming);
         while (control.replayed_count.load(SeqCst) as usize) < live.len() {
+            // A death injected mid-restart leaves some ranks unwinding
+            // instead of replaying; the new generation is dead on arrival
+            // and the supervisor restores from storage instead.
+            if new_world.fail_plane().poisoned() {
+                return;
+            }
             std::thread::sleep(POLL);
         }
         for d in &ckpt.in_flight {
@@ -816,6 +857,16 @@ impl Coordinator {
         }
     }
 
+    /// If an injected death has poisoned the world, records the abort in
+    /// the trace and returns the typed error. The per-checkpoint state is
+    /// deliberately left alone — the world is being abandoned wholesale,
+    /// not resumed, so there is nothing to withdraw into.
+    fn death_abort(&self) -> Option<DrainError> {
+        let d = self.sh.current_world().fail_plane().death()?;
+        self.sh.trace.push(DrainEvent::Aborted);
+        Some(DrainError::RankDeath(d))
+    }
+
     /// Order-insensitive digest of everything that changes while a drain
     /// makes progress: clocks, states, sequence tables, update counters,
     /// and inbox depths. Two equal digests across the watchdog window mean
@@ -854,11 +905,15 @@ impl Coordinator {
     /// the application. Returns the typed stall error.
     fn abort_stalled_drain(&self) -> DrainError {
         let control = &self.sh.control;
+        // Dead ranks are excluded: a declared death is not a p2p stall,
+        // and listing the victims here would misattribute the abort.
         let stalled: Vec<usize> = control
             .ranks
             .iter()
             .enumerate()
-            .filter(|(_, rc)| rc.state() != RankState::Finished && !rc.targets_met.load(SeqCst))
+            .filter(|(_, rc)| {
+                rc.state() != RankState::Finished && !rc.is_dead() && !rc.targets_met.load(SeqCst)
+            })
             .map(|(i, _)| i)
             .collect();
         self.sh.trace.push(DrainEvent::Aborted);
@@ -894,7 +949,7 @@ impl Coordinator {
             }
             for &r in members_of.get(g).map(|m| &m[..]).unwrap_or(&[]) {
                 let rc = &control.ranks[r];
-                if rc.state() == RankState::Finished {
+                if rc.state() == RankState::Finished || rc.is_dead() {
                     continue;
                 }
                 if rc.seq_mirror.lock().seq(*g) < t {
@@ -925,6 +980,7 @@ struct TierPlan {
     modeled_write_s: f64,
     modeled_read_s: f64,
     backpressure_s: f64,
+    landing_v_s: f64,
     sync: bool,
 }
 

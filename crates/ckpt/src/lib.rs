@@ -172,6 +172,41 @@
 //! re-executes the program. `bench/tests/representation_equiv.rs` pins
 //! this both ways on randomized schedules.
 //!
+//! ## Availability: faults, recovery, and the Daly cadence
+//!
+//! The [`avail`] module closes the failure loop the storage tiers exist
+//! for. A [`FaultPlan`] is a deterministic, seeded campaign of deaths —
+//! a single rank or a whole node's ranks, at an MTBF-sampled virtual
+//! time ([`FaultPlan::sample`]) or at a protocol-sensitive moment
+//! (mid-drain, during an asynchronous background drain). An injector
+//! thread fires each event through [`Session::inject_failure`], which
+//! poisons the scheduler's shared fail plane ([`mpisim::FailPlane`]) and
+//! wakes every wait site — mailbox parks, collective waiters, drain-gate
+//! and quiesce parks, step-driver retirement — so the whole world
+//! unwinds promptly with a typed [`mpisim::RankDeath`] instead of
+//! tripping the drain watchdog as a spurious stall (dead ranks are
+//! excluded from stall accounting outright).
+//!
+//! [`run_available_world`] / [`run_available_world_steps`] supervise a
+//! workload across such deaths: each one selects the newest *viable*
+//! generation from the [`TieredStore`] — skipping images whose modeled
+//! landing post-dates the death (an async drain still in flight is
+//! discarded, its back-pressure released) and falling back past tiers
+//! lost with the node (memory dies with it; partner survives unless the
+//! buddy pair is gone; Lustre survives anything) — restores it onto the
+//! surviving topology through the ordinary repack-at-restore path,
+//! re-arms the trigger policy, and repeats until the workload completes.
+//! Final results are bit-identical to an undisturbed run; the report
+//! accounts every fault's wasted work and recovery latency
+//! ([`avail::FaultRecord`]).
+//!
+//! How often to checkpoint under a given failure rate is the classic
+//! Young/Daly trade; [`policy::DalyInterval`] derives its cadence from
+//! the configured MTBF and the *measured* write cost of the previous
+//! generation (`sqrt(2·δ·MTBF)`, re-estimated every generation), and
+//! [`CadenceSpec`] names the ladder the availability benchmark sweeps
+//! (never / fixed-period / Daly).
+//!
 //! None of this touches virtual time, so the deterministic-replay
 //! contract restore relies on is preserved: app-visible
 //! [`mana_core::CallCounters`] and `SEQ[]` equality still locate a
@@ -185,6 +220,7 @@
 //! sizes the legacy shim's per-rank threads and is rejected with a
 //! typed [`SpawnError`] in step mode — step ranks own no stack to size.
 
+pub mod avail;
 pub mod bus;
 pub mod coordinator;
 pub mod image;
@@ -196,6 +232,10 @@ pub mod session;
 pub mod store;
 pub mod wire;
 
+pub use avail::{
+    run_available_world, run_available_world_steps, AvailabilityOptions, CadenceSpec, FaultEvent,
+    FaultPlan, FaultRecord, FaultTrigger,
+};
 pub use bus::{TargetUpdate, UpdateBus};
 pub use coordinator::{
     auto_stall_timeout, Coordinator, DrainError, ResumeMode, StorageSpec, DEFAULT_STALL_TIMEOUT,
@@ -205,10 +245,10 @@ pub use image::{
     CaptureOrigin, Checkpoint, DrainedMsg, ImageError, IMAGE_HEADER_LEN, IMAGE_KIND_DELTA,
     IMAGE_KIND_FULL, IMAGE_MAGIC, IMAGE_VERSION,
 };
-pub use mpisim::SpawnError;
+pub use mpisim::{FaultScope, RankDeath, SpawnError};
 pub use policy::{
-    DeltaPolicy, EveryNCollectives, NeverTrigger, PeriodicInterval, TierSchedule,
-    TriggerObservation, TriggerPolicy, VirtualTimeSchedule,
+    young_daly_interval_s, DalyInterval, DeltaPolicy, EveryNCollectives, NeverTrigger,
+    PeriodicInterval, TierSchedule, TriggerObservation, TriggerPolicy, VirtualTimeSchedule,
 };
 pub use rank::step::{StepPoll, StepRank};
 pub use rank::CcRank;

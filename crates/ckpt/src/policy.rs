@@ -22,7 +22,7 @@ use mpisim::VTime;
 
 /// A cheap snapshot of global progress, handed to
 /// [`TriggerPolicy::should_fire`] on every supervision poll.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TriggerObservation {
     /// Minimum published virtual clock over non-finished ranks, in
     /// nanoseconds. Zero when every rank has finished.
@@ -33,6 +33,12 @@ pub struct TriggerObservation {
     pub min_coll_calls: u64,
     /// Checkpoints successfully captured so far in this run.
     pub checkpoints_taken: usize,
+    /// Modeled virtual seconds the most recently committed checkpoint
+    /// spent writing its image (`0.0` until one commits). Cost-adaptive
+    /// policies — [`DalyInterval`] — fold this measurement into their
+    /// cadence so the interval tracks what checkpoints actually cost on
+    /// the tier they land on.
+    pub last_write_cost_s: f64,
 }
 
 /// Decides when the supervision loop fires a checkpoint.
@@ -198,6 +204,100 @@ impl TriggerPolicy for EveryNCollectives {
     }
 }
 
+/// The closed-form Young/Daly checkpoint interval `sqrt(2 · δ · MTBF)`
+/// in seconds, where `δ` is the cost of writing one checkpoint and MTBF
+/// the mean time between failures (both in seconds). Returns `+∞` — i.e.
+/// "never checkpoint" — when the MTBF is infinite or either input is
+/// non-positive.
+pub fn young_daly_interval_s(write_cost_s: f64, mtbf_s: f64) -> f64 {
+    if !mtbf_s.is_finite() || mtbf_s <= 0.0 || write_cost_s <= 0.0 {
+        return f64::INFINITY;
+    }
+    (2.0 * write_cost_s * mtbf_s).sqrt()
+}
+
+/// Fires on the Young/Daly optimum cadence `sqrt(2 · δ · MTBF)`, where
+/// `δ` starts at a configured estimate and is replaced by the *measured*
+/// write cost of each committed generation
+/// ([`TriggerObservation::last_write_cost_s`]): every fire re-arms the
+/// next deadline from the freshest measurement, so the cadence converges
+/// onto what checkpoints actually cost on the tiers they land on. An
+/// infinite MTBF degenerates to [`NeverTrigger`]: exhausted from birth.
+#[derive(Debug, Clone)]
+pub struct DalyInterval {
+    mtbf_s: f64,
+    delta_s: f64,
+    /// Next fire deadline in clock nanoseconds; `None` once (or from
+    /// birth, for infinite MTBF) the policy will never fire again.
+    next_due_ns: Option<u64>,
+}
+
+impl DalyInterval {
+    /// A Daly policy for the given MTBF and an initial write-cost
+    /// estimate, both in seconds. `f64::INFINITY` MTBF means "failures
+    /// never happen": the policy never fires.
+    ///
+    /// # Panics
+    /// Panics when a finite MTBF is paired with a non-positive MTBF or
+    /// write-cost estimate (the optimum would be zero and the loop would
+    /// fire continuously).
+    pub fn new(mtbf_s: f64, initial_write_cost_s: f64) -> Self {
+        if mtbf_s.is_finite() {
+            assert!(mtbf_s > 0.0, "MTBF must be positive");
+            assert!(
+                initial_write_cost_s > 0.0,
+                "initial write-cost estimate must be positive"
+            );
+        }
+        let mut p = DalyInterval {
+            mtbf_s,
+            delta_s: initial_write_cost_s,
+            next_due_ns: None,
+        };
+        p.next_due_ns = p.arm_from(0);
+        p
+    }
+
+    /// The interval currently in force, in seconds.
+    pub fn interval_s(&self) -> f64 {
+        young_daly_interval_s(self.delta_s, self.mtbf_s)
+    }
+
+    /// The deadline `interval` past `now_ns`, or `None` for a
+    /// never-again interval.
+    fn arm_from(&self, now_ns: u64) -> Option<u64> {
+        let s = self.interval_s();
+        if !s.is_finite() {
+            return None;
+        }
+        // At least one nanosecond forward: a degenerate measured cost
+        // must not collapse the cadence into a continuous fire.
+        Some(now_ns.saturating_add(((s * 1e9) as u64).max(1)))
+    }
+}
+
+impl TriggerPolicy for DalyInterval {
+    fn should_fire(&mut self, obs: &TriggerObservation) -> bool {
+        // Track the freshest measured write cost every poll; it takes
+        // effect at the next re-arm (the Daly δ of the *previous*
+        // generation, exactly as the closed form wants).
+        if obs.last_write_cost_s > 0.0 {
+            self.delta_s = obs.last_write_cost_s;
+        }
+        match self.next_due_ns {
+            Some(due) if obs.min_clock_ns >= due => {
+                self.next_due_ns = self.arm_from(obs.min_clock_ns);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next_due_ns.is_none()
+    }
+}
+
 /// Which storage tier each committed checkpoint lands on, indexed by the
 /// store's generation number — so a run that resumes into an existing
 /// [`crate::store::TieredStore`] continues the rotation where it left off.
@@ -275,6 +375,7 @@ mod tests {
             min_clock_ns,
             min_coll_calls,
             checkpoints_taken: taken,
+            last_write_cost_s: 0.0,
         }
     }
 
@@ -347,6 +448,67 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_stride_rejected() {
         let _ = EveryNCollectives::new(0, 1);
+    }
+
+    #[test]
+    fn daly_first_fire_matches_closed_form_over_grid() {
+        // The first deadline must sit exactly at sqrt(2·δ·MTBF) for a
+        // grid of write-cost / MTBF pairs spanning the bench sweep.
+        for &delta in &[0.5f64, 13.0, 120.0, 398.0] {
+            for &mtbf in &[60.0f64, 3_600.0, 86_400.0, 1.0e7] {
+                let opt_s = (2.0 * delta * mtbf).sqrt();
+                assert_eq!(young_daly_interval_s(delta, mtbf), opt_s);
+                let due_ns = (opt_s * 1e9) as u64;
+                let mut p = DalyInterval::new(mtbf, delta);
+                assert!(!p.exhausted());
+                assert!(
+                    !p.should_fire(&obs(due_ns - 1, 0, 0)),
+                    "fired early at δ={delta} MTBF={mtbf}"
+                );
+                assert!(
+                    p.should_fire(&obs(due_ns, 0, 0)),
+                    "missed the optimum at δ={delta} MTBF={mtbf}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn daly_rearms_from_measured_write_cost() {
+        // δ starts at 2 s; the first generation is then measured at 8 s,
+        // so the second interval must be sqrt(2·8·MTBF) — twice the
+        // first — counted from the fire point.
+        let mtbf = 10_000.0;
+        let first = (2.0f64 * 2.0 * mtbf).sqrt();
+        let second = (2.0f64 * 8.0 * mtbf).sqrt();
+        assert_eq!(second, 2.0 * first);
+        let mut p = DalyInterval::new(mtbf, 2.0);
+        let t1 = (first * 1e9) as u64;
+        let mut o = obs(t1, 0, 0);
+        o.last_write_cost_s = 8.0;
+        assert!(p.should_fire(&o));
+        assert_eq!(p.interval_s(), second);
+        let due2 = t1 + (second * 1e9) as u64;
+        assert!(!p.should_fire(&obs(due2 - 1, 0, 1)));
+        assert!(p.should_fire(&obs(due2, 0, 1)));
+    }
+
+    #[test]
+    fn daly_infinite_mtbf_never_fires() {
+        // MTBF = ∞ degenerates to the NeverTrigger contract: exhausted
+        // from birth, never fires, even at the end of time.
+        let mut p = DalyInterval::new(f64::INFINITY, 13.0);
+        assert!(p.exhausted());
+        assert!(!p.should_fire(&obs(u64::MAX, u64::MAX, 0)));
+        assert_eq!(p.interval_s(), f64::INFINITY);
+        // A zero cost estimate is fine when failures never happen…
+        assert!(DalyInterval::new(f64::INFINITY, 0.0).exhausted());
+    }
+
+    #[test]
+    #[should_panic(expected = "write-cost estimate must be positive")]
+    fn daly_rejects_zero_cost_with_finite_mtbf() {
+        let _ = DalyInterval::new(3_600.0, 0.0);
     }
 
     #[test]

@@ -291,9 +291,13 @@ impl CcRank {
     fn await_targets(&mut self) -> bool {
         let sh = Arc::clone(&self.sh);
         let ctl = &sh.control.ranks[self.rank];
+        let fail = Arc::clone(self.ctx.world().fail_plane());
         self.ctx.blocked(|| {
-            ctl.park_until(|| ctl.targets_ready.load(SeqCst) || !sh.control.is_pending());
+            ctl.park_until(|| {
+                ctl.targets_ready.load(SeqCst) || !sh.control.is_pending() || fail.poisoned()
+            });
         });
+        fail.die_if_poisoned();
         if !sh.control.is_pending() {
             self.service_control();
             return false;
@@ -571,17 +575,20 @@ impl CcRank {
                 break;
             }
             // Parked at the wrapper entry: slotless until a raise, the
-            // quiesce signal, the end of the checkpoint, or the next
-            // checkpoint taking over.
+            // quiesce signal, the end of the checkpoint, the next
+            // checkpoint taking over — or a world kill.
             let rank = self.rank;
+            let fail = Arc::clone(self.ctx.world().fail_plane());
             self.ctx.blocked(|| {
                 ctl.park_until(|| {
                     !sh.control.is_pending()
                         || sh.control.ckpt_epoch.load(SeqCst) != parked_epoch
                         || sh.control.phase() != CkptPhase::Draining
                         || sh.bus.has_pending(rank)
+                        || fail.poisoned()
                 });
             });
+            fail.die_if_poisoned();
         }
         let ctl = &sh.control.ranks[self.rank];
         ctl.set_state(if sh.control.is_pending() {
@@ -634,13 +641,16 @@ impl CcRank {
         loop {
             // Quiesced park: the rank is captured and slotless; the
             // coordinator (not a rank) does the capture work meanwhile.
+            let fail = Arc::clone(self.ctx.world().fail_plane());
             self.ctx.blocked(|| {
                 ctl.park_until(|| {
                     sh.control.resume_gen.load(SeqCst) > my_gen
                         || (sh.control.phase() == CkptPhase::Resuming
                             && ctl.new_world.lock().is_some())
+                        || fail.poisoned()
                 });
             });
+            fail.die_if_poisoned();
             let fresh = ctl.new_world.lock().take();
             if let Some(w) = fresh {
                 self.restore_into(w);

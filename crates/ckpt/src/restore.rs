@@ -28,7 +28,7 @@ use crate::coordinator::{image_file_layout, Coordinator, StorageSpec};
 use crate::image::Checkpoint;
 use crate::rank::CcRank;
 use crate::runner::step::{run_session_steps, StepBody};
-use crate::runner::{run_session_threads, CkptRunReport, SuperviseOut};
+use crate::runner::{run_session_threads, CkptRunReport, RunError, SuperviseOut};
 use crate::session::{RestorePlan, Session};
 use mana_core::{RankState, RuntimeCapture, Violation};
 use mpisim::{SpawnError, WorldConfig};
@@ -206,10 +206,10 @@ where
     let sh = Session::for_restore(replay_cfg, image.protocol, plan);
     let sup = Arc::clone(&sh);
     run_session_threads(sh, rcfg.stack_size, f, move || {
-        drive_restore(&sup, image, &rcfg, restored_cfg);
+        drive_restore(&sup, image, &rcfg, restored_cfg, None);
         SuperviseOut::default()
     })
-    .map_err(RestoreError::from)
+    .map_err(restore_run_err)
 }
 
 /// [`restore_ckpt_world`] for step-function bodies: the replay ranks are
@@ -251,15 +251,25 @@ where
     let sh = Session::for_restore(replay_cfg, image.protocol, plan);
     let sup = Arc::clone(&sh);
     run_session_steps(sh, rcfg.stack_size, make, move || {
-        drive_restore(&sup, image, &rcfg, restored_cfg);
+        drive_restore(&sup, image, &rcfg, restored_cfg, None);
         SuperviseOut::default()
     })
-    .map_err(RestoreError::from)
+    .map_err(restore_run_err)
+}
+
+/// Maps the internal runner error onto the restore surface. No fault
+/// injector exists on the public restore paths, so a death is a harness
+/// bug here; the availability supervisor uses its own restore driver.
+fn restore_run_err(e: RunError) -> RestoreError {
+    match e {
+        RunError::Spawn(s) => RestoreError::Spawn(s),
+        RunError::Died(d) => panic!("rank death without availability supervision: {d}"),
+    }
 }
 
 /// The shared pre-flight of both restore runners: image shape and
 /// safe-cut checks, then the replay and restored world configurations.
-fn restore_preflight(
+pub(crate) fn restore_preflight(
     image: &Checkpoint,
     rcfg: &RestoreConfig,
 ) -> Result<(WorldConfig, WorldConfig), RestoreError> {
@@ -290,11 +300,15 @@ fn restore_preflight(
 
 /// The restore driver: waits for the replay to park at the image's cut,
 /// cross-checks it, then plays the coordinator's restart-resume role.
-fn drive_restore(
+/// `read_charge_override` replaces the flat [`RestoreConfig::storage`]
+/// read charge with an explicit virtual-seconds cost — the availability
+/// supervisor computes it from the tier the image actually survives on.
+pub(crate) fn drive_restore(
     sh: &Arc<Session>,
     image: &Checkpoint,
     rcfg: &RestoreConfig,
     restored_cfg: WorldConfig,
+    read_charge_override: Option<f64>,
 ) {
     let control = &sh.control;
 
@@ -303,6 +317,11 @@ fn drive_restore(
     let mut last_fp = replay_fingerprint(sh);
     let mut last_change = Instant::now();
     while !control.all_parked() {
+        // A death injected mid-replay abandons the restore outright; the
+        // supervisor owns the retry.
+        if sh.poisoned() {
+            return;
+        }
         let fp = replay_fingerprint(sh);
         if fp != last_fp {
             last_fp = fp;
@@ -323,6 +342,9 @@ fn drive_restore(
         std::thread::sleep(Duration::from_micros(500));
     }
 
+    if sh.poisoned() {
+        return;
+    }
     // The replayed runtime state must agree with the image before the
     // image is allowed to overwrite it.
     for (rank, expected) in image.captures.iter().enumerate() {
@@ -336,21 +358,26 @@ fn drive_restore(
 
     // Charge the image read-back against the restored packing: re-packing
     // onto fewer ranks per node spreads the same files over more nodes,
-    // which is exactly the Figure 9 topology effect.
-    if let Some(st) = &rcfg.storage {
-        let (nodes, files_per_node, bytes_per_file) = image_file_layout(
-            st,
-            image.n_ranks,
-            restored_cfg.ranks_per_node,
-            &image.in_flight,
-            &image.captures,
-        );
-        let read_ns = (st.model.read_time(nodes, files_per_node, bytes_per_file) * 1e9) as u64;
-        if read_ns > 0 {
-            for rc in control.ranks.iter() {
-                if rc.state() != RankState::Finished {
-                    rc.io_charge_ns.store(read_ns, SeqCst);
-                }
+    // which is exactly the Figure 9 topology effect. An explicit override
+    // (the availability path's tier-accurate cost) wins over the flat
+    // storage model.
+    let read_secs = read_charge_override.or_else(|| {
+        rcfg.storage.as_ref().map(|st| {
+            let (nodes, files_per_node, bytes_per_file) = image_file_layout(
+                st,
+                image.n_ranks,
+                restored_cfg.ranks_per_node,
+                &image.in_flight,
+                &image.captures,
+            );
+            st.model.read_time(nodes, files_per_node, bytes_per_file)
+        })
+    });
+    let read_ns = (read_secs.unwrap_or(0.0) * 1e9) as u64;
+    if read_ns > 0 {
+        for rc in control.ranks.iter() {
+            if rc.state() != RankState::Finished {
+                rc.io_charge_ns.store(read_ns, SeqCst);
             }
         }
     }

@@ -18,7 +18,7 @@ use crate::session::Session;
 use crate::store::{StoreRecord, Tiering};
 use mana_core::{CallCounters, DrainTrace, ExecEvent, Protocol, RankState};
 use mpisim::world::LaunchGate;
-use mpisim::{RankReport, SpawnError, VTime, WorldConfig};
+use mpisim::{KilledByFault, RankDeath, RankReport, SpawnError, VTime, WorldConfig};
 use std::sync::atomic::Ordering::{Relaxed, SeqCst};
 use std::sync::Arc;
 use std::time::Duration;
@@ -134,6 +134,30 @@ impl std::fmt::Debug for CkptOptions {
     }
 }
 
+/// Why a supervised run did not produce a report.
+#[derive(Debug)]
+pub enum RunError {
+    /// A rank thread could not be spawned; the launch was aborted before
+    /// any application code ran.
+    Spawn(SpawnError),
+    /// An injected fault killed ranks and the world unwound before the
+    /// workload completed. Only the availability supervisor
+    /// ([`crate::run_available_world`]) recovers from this; the plain
+    /// runners treat it as fatal.
+    Died(RankDeath),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Spawn(e) => write!(f, "{e}"),
+            RunError::Died(d) => write!(f, "run killed: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Result of a checkpointed execution.
 #[derive(Debug)]
 pub struct CkptRunReport<R> {
@@ -183,6 +207,19 @@ pub struct CkptRunReport<R> {
     /// costs a whole stack, accounted by the kernel, not the heap) and on
     /// platforms without `/proc/self/statm`.
     pub rank_build_rss_bytes: Option<u64>,
+    /// World attempts this report covers: always `1` for the plain
+    /// runners; the availability supervisor counts the initial launch
+    /// plus one per recovery restore.
+    pub attempts: usize,
+    /// Injected faults survived on the way to this result, in injection
+    /// order. Empty outside availability runs.
+    pub faults: Vec<crate::avail::FaultRecord>,
+    /// Virtual seconds of work redone because it post-dated the image
+    /// each recovery restored from (summed over faults).
+    pub wasted_work_s: f64,
+    /// Virtual seconds spent reading images back during recoveries
+    /// (summed over faults).
+    pub recovery_latency_s: f64,
 }
 
 impl<R> CkptRunReport<R> {
@@ -234,13 +271,20 @@ where
     );
     let sh = Session::new(cfg.clone(), opts.protocol);
     let sup = Arc::clone(&sh);
-    run_session_threads(sh, cfg.stack_size, f, move || supervise_policy(&sup, opts))
+    run_session_threads(sh, cfg.stack_size, f, move || supervise_policy(&sup, opts)).map_err(|e| {
+        match e {
+            RunError::Spawn(s) => s,
+            // No fault injector exists on this path; a death here means a
+            // harness bug, not a survivable failure.
+            RunError::Died(d) => panic!("rank death without availability supervision: {d}"),
+        }
+    })
 }
 
 /// What a supervision closure hands back to the report assembly: the
 /// captured images, aborted attempts, and the coordinator's per-capture
 /// wall and storage accounting. Restore drivers return the default.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub(crate) struct SuperviseOut {
     pub(crate) checkpoints: Vec<Checkpoint>,
     pub(crate) failures: Vec<DrainError>,
@@ -254,8 +298,6 @@ pub(crate) struct SuperviseOut {
 /// is exhausted or every rank has finished.
 fn supervise_policy(sh: &Arc<Session>, opts: CkptOptions) -> SuperviseOut {
     let mut policy = opts.policy;
-    let mut checkpoints = Vec::new();
-    let mut failures = Vec::new();
     let coord = Coordinator::new(Arc::clone(sh))
         .with_storage(opts.storage.clone())
         .with_tiering(opts.tiering.clone())
@@ -263,31 +305,60 @@ fn supervise_policy(sh: &Arc<Session>, opts: CkptOptions) -> SuperviseOut {
             opts.stall_timeout
                 .unwrap_or_else(|| auto_stall_timeout(sh.cfg.n_ranks, sh.cfg.resolved_workers())),
         );
-    while !policy.exhausted() && !all_finished(sh) {
+    let mut out = SuperviseOut::default();
+    supervise_loop(sh, &coord, policy.as_mut(), opts.resume, &mut out);
+    out
+}
+
+/// The poll-fire core shared by [`supervise_policy`] and the availability
+/// supervisor: polls the published progress, fires `coord` on policy
+/// demand, and stops once the policy is exhausted, every rank has
+/// finished, or an injected death poisons the world (the fatal
+/// [`DrainError::RankDeath`] also lands in `out.failures`). On return the
+/// last background drain has been flushed and the coordinator's histories
+/// copied into `out`, so the caller keeps them even when the run itself
+/// dies.
+pub(crate) fn supervise_loop(
+    sh: &Arc<Session>,
+    coord: &Coordinator,
+    policy: &mut dyn TriggerPolicy,
+    resume: ResumeMode,
+    out: &mut SuperviseOut,
+) {
+    let mut last_write_cost_s = 0.0;
+    while !policy.exhausted() && !all_finished(sh) && !sh.poisoned() {
         let obs = TriggerObservation {
             min_clock_ns: min_unfinished_clock_ns(sh),
             min_coll_calls: min_unfinished_coll_calls(sh),
-            checkpoints_taken: checkpoints.len(),
+            checkpoints_taken: out.checkpoints.len(),
+            last_write_cost_s,
         };
         if policy.should_fire(&obs) {
-            match coord.checkpoint(opts.resume) {
-                Ok(c) => checkpoints.push(c),
-                Err(e) => failures.push(e),
+            match coord.checkpoint(resume) {
+                Ok(c) => {
+                    last_write_cost_s = c.io_write_secs;
+                    out.checkpoints.push(c);
+                }
+                Err(e) => {
+                    let fatal = matches!(e, DrainError::RankDeath(_));
+                    out.failures.push(e);
+                    if fatal {
+                        break;
+                    }
+                }
             }
         } else {
             std::thread::sleep(Duration::from_micros(200));
         }
     }
     // A run must not end with an image still in flight: land the last
-    // background drain before reading the histories.
+    // background drain before reading the histories. (On a poisoned world
+    // the drain still lands — the recovery path then discards it by its
+    // landing point, not by racing the writer thread.)
     coord.flush_drains();
-    SuperviseOut {
-        checkpoints,
-        failures,
-        capture_wall_s: coord.capture_wall_history(),
-        capture_overlap_s: coord.capture_overlap_history(),
-        store_records: coord.store_record_history(),
-    }
+    out.capture_wall_s = coord.capture_wall_history();
+    out.capture_overlap_s = coord.capture_overlap_history();
+    out.store_records = coord.store_record_history();
 }
 
 /// The shared scaffold of [`run_ckpt_world`] and
@@ -301,7 +372,7 @@ pub(crate) fn run_session_threads<R, F>(
     stack_size: usize,
     f: F,
     supervise: impl FnOnce() -> SuperviseOut,
-) -> Result<CkptRunReport<R>, SpawnError>
+) -> Result<CkptRunReport<R>, RunError>
 where
     R: Send,
     F: Fn(&mut CcRank) -> R + Send + Sync,
@@ -377,12 +448,29 @@ where
             match h.join() {
                 Ok(Some(Ok(rep))) => reports[rank] = Some(rep),
                 Ok(None) => {} // aborted launch
-                Ok(Some(Err(p))) | Err(p) => std::panic::resume_unwind(p),
+                Ok(Some(Err(p))) | Err(p) => {
+                    // A fault-injected death unwinds with the quiet
+                    // `KilledByFault` marker; it is the *expected* way a
+                    // killed world ends, not a bug to re-raise. Anything
+                    // else is a genuine rank panic.
+                    if !p.is::<KilledByFault>() {
+                        std::panic::resume_unwind(p);
+                    }
+                }
             }
         }
     });
     if let Some(e) = spawn_err {
-        return Err(e);
+        return Err(RunError::Spawn(e));
+    }
+    if reports.iter().any(|r| r.is_none()) {
+        // At least one rank unwound without a result: the death stands.
+        // (If the injection raced completion and every rank still
+        // returned, the run is simply complete — nothing was lost.)
+        let death = sh
+            .death()
+            .expect("rank unwound without a result or a recorded death");
+        return Err(RunError::Died(death));
     }
     let ranks: Vec<RankReport<R>> = reports.into_iter().map(|r| r.unwrap()).collect();
     let makespan = VTime::max_of(ranks.iter().map(|r| r.final_clock));
@@ -411,6 +499,10 @@ where
         capture_overlap_s: sup_out.capture_overlap_s,
         store_records: sup_out.store_records,
         rank_build_rss_bytes: None,
+        attempts: 1,
+        faults: Vec::new(),
+        wasted_work_s: 0.0,
+        recovery_latency_s: 0.0,
     })
 }
 
@@ -425,7 +517,7 @@ pub(crate) fn all_finished(sh: &Session) -> bool {
 /// nanoseconds. The published clocks are compared as `u64` all the way to
 /// the policy: the old trigger loop converted them to `f64` seconds
 /// first, which collapses distinct clock values above ~2^53 ns.
-fn min_unfinished_clock_ns(sh: &Session) -> u64 {
+pub(crate) fn min_unfinished_clock_ns(sh: &Session) -> u64 {
     let mut min: Option<u64> = None;
     for r in &sh.control.ranks {
         if r.state() == RankState::Finished {

@@ -17,14 +17,15 @@
 //! representations — the representation-equivalence tests restore images
 //! captured under one representation into the other.
 
-use super::{supervise_policy, CkptOptions, CkptRunReport, SuperviseOut};
+use super::{supervise_policy, CkptOptions, CkptRunReport, RunError, SuperviseOut};
 use crate::rank::step::StepRank;
 use crate::session::Session;
 use mana_core::{CallCounters, RankState};
 use mpisim::sched::WaitReason;
 use mpisim::world::LaunchGate;
 use mpisim::{
-    RankReport, RankStep, SpawnError, Step, StepDriver, VTime, WorldConfig, DEFAULT_RANK_STACK,
+    FailPlane, KilledByFault, RankReport, RankStep, SpawnError, Step, StepDriver, VTime,
+    WorldConfig, DEFAULT_RANK_STACK,
 };
 use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Arc;
@@ -74,6 +75,10 @@ where
 struct CcStepObj<'a, B: StepBody> {
     rank: usize,
     sh: Arc<Session>,
+    /// The session's fault plane, cached once — it lives on the scheduler
+    /// and survives every lower-half generation, so the handle never goes
+    /// stale across restarts.
+    fail: Arc<FailPlane>,
     cc: StepRank,
     body: B,
     out: &'a Mutex<Option<RankReport<B::Out>>>,
@@ -81,6 +86,17 @@ struct CcStepObj<'a, B: StepBody> {
 
 impl<B: StepBody> RankStep for CcStepObj<'_, B> {
     fn step(&mut self) -> Step {
+        // The step representation's single death point: a body is never
+        // resumed once the world is poisoned, so no step-engine state can
+        // observe a half-killed world. The rank is retired quietly — no
+        // result, counted finished for supervision — mirroring what a
+        // rank thread's `KilledByFault` unwind leaves behind.
+        if self.fail.poisoned() {
+            let ctl = &self.sh.control.ranks[self.rank];
+            ctl.targets_met.store(true, SeqCst);
+            ctl.set_state(RankState::Finished);
+            return Step::Done;
+        }
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.body.step(&mut self.cc)
         }));
@@ -159,6 +175,10 @@ where
     run_session_steps(sh, cfg.stack_size, make, move || {
         supervise_policy(&sup, opts)
     })
+    .map_err(|e| match e {
+        RunError::Spawn(s) => s,
+        RunError::Died(d) => panic!("rank death without availability supervision: {d}"),
+    })
 }
 
 /// The step-mode counterpart of `run_session_threads`: build every step
@@ -170,7 +190,7 @@ pub(crate) fn run_session_steps<B, MK>(
     stack_size: usize,
     make: MK,
     supervise: impl FnOnce() -> SuperviseOut,
-) -> Result<CkptRunReport<B::Out>, SpawnError>
+) -> Result<CkptRunReport<B::Out>, RunError>
 where
     B: StepBody,
     MK: Fn(usize) -> B + Send + Sync,
@@ -180,14 +200,14 @@ where
         // Satisfying the request would be lying about memory: the whole
         // point of the step representation is that no per-rank stack
         // exists. Reject it the way a failed spawn is rejected.
-        return Err(SpawnError {
+        return Err(RunError::Spawn(SpawnError {
             rank: 0,
             n_ranks: n,
             stack_size,
             reason: "step-function ranks own no per-rank stack; `with_stack_size` applies to \
                      the legacy closure shim only"
                 .to_string(),
-        });
+        }));
     }
 
     // The driver shares the wait-path stats so its rescue-sweep expiries
@@ -220,6 +240,7 @@ where
             CcStepObj {
                 rank,
                 sh: Arc::clone(&sh),
+                fail: Arc::clone(sh.current_world().fail_plane()),
                 cc,
                 body,
                 out,
@@ -253,7 +274,17 @@ where
             if !gate_rx.wait() {
                 return; // aborted launch: the objects drop unstepped
             }
-            driver.run(workers, objs);
+            // The driver re-raises the first rank-body panic once the
+            // pool drains; a quiet `KilledByFault` unwind is the expected
+            // end of a killed world, not a bug.
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                driver.run(workers, objs);
+            }));
+            if let Err(p) = r {
+                if !p.is::<KilledByFault>() {
+                    std::panic::resume_unwind(p);
+                }
+            }
         });
         gate.decide(spawn_err.is_none());
         if spawn_err.is_none() {
@@ -261,13 +292,20 @@ where
         }
     });
     if let Some(e) = spawn_err {
-        return Err(e);
+        return Err(RunError::Spawn(e));
     }
 
-    let ranks: Vec<RankReport<B::Out>> = outs
-        .into_iter()
-        .map(|m| m.into_inner().expect("every rank ran to Done"))
-        .collect();
+    let reports: Vec<Option<RankReport<B::Out>>> =
+        outs.into_iter().map(|m| m.into_inner()).collect();
+    if reports.iter().any(|r| r.is_none()) {
+        // A rank was retired by the poison abort point without a result:
+        // the death stands (unless every body still completed first).
+        let death = sh
+            .death()
+            .expect("rank retired without a result or a recorded death");
+        return Err(RunError::Died(death));
+    }
+    let ranks: Vec<RankReport<B::Out>> = reports.into_iter().map(|r| r.unwrap()).collect();
     let makespan = VTime::max_of(ranks.iter().map(|r| r.final_clock));
     let final_counters: Vec<CallCounters> = sh
         .control
@@ -294,6 +332,10 @@ where
         capture_overlap_s: sup_out.capture_overlap_s,
         store_records: sup_out.store_records,
         rank_build_rss_bytes,
+        attempts: 1,
+        faults: Vec::new(),
+        wasted_work_s: 0.0,
+        recovery_latency_s: 0.0,
     })
 }
 

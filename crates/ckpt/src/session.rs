@@ -8,7 +8,7 @@ use crate::image::Checkpoint;
 use mana_core::{
     CallCounters, CkptControl, DrainTrace, ExecutionLog, Protocol, RankState, SeqTable,
 };
-use mpisim::{VTime, World, WorldConfig};
+use mpisim::{RankDeath, VTime, World, WorldConfig};
 use parking_lot::Mutex;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -91,6 +91,10 @@ pub struct Session {
     /// Present when this session is a restore-from-image replay: ranks
     /// re-execute the captured program and park at their recorded cuts.
     pub restore: Option<RestorePlan>,
+    /// True while an asynchronous drain (coordinator handed the image to
+    /// the background writer, ranks already resumed) is in flight. Fault
+    /// injectors read it to place `DuringAsyncDrain` deaths.
+    pub bg_drain_inflight: AtomicBool,
 }
 
 impl Session {
@@ -121,6 +125,7 @@ impl Session {
             cfg,
             protocol,
             restore,
+            bg_drain_inflight: AtomicBool::new(false),
         })
     }
 
@@ -135,6 +140,47 @@ impl Session {
     /// restarts, so the count spans lower-half generations.
     pub fn backstop_expiries(&self) -> u64 {
         self.current_world().scheduler().stats().backstop_expiries()
+    }
+
+    /// Injects a fault into the running execution: poisons the fail plane
+    /// (first injection wins), marks the victim ranks dead so stall
+    /// accounting stops expecting them, and wakes every wait path — ranks
+    /// blocked in receive scans, collective slots, or checkpoint parks
+    /// observe the poison and unwind promptly with a [`mpisim::KilledByFault`]
+    /// marker instead of draining a backstop timeout.
+    ///
+    /// Returns `false` if the plane was already poisoned (the earlier death
+    /// stands and this one is dropped).
+    pub fn inject_failure(&self, death: RankDeath) -> bool {
+        let world = self.current_world();
+        let victims = death.victims.clone();
+        if !world.fail_plane().inject(death) {
+            return false;
+        }
+        for &v in &victims {
+            if let Some(ctl) = self.control.ranks.get(v) {
+                ctl.mark_dead();
+            }
+        }
+        // Wake order: lower-half waits first (mailboxes, collective
+        // instances), then the out-of-band checkpoint parks. Every site
+        // re-checks its predicate on wake, so the order only affects
+        // latency, not correctness.
+        world.poison_wake();
+        for ctl in self.control.ranks.iter() {
+            ctl.wake();
+        }
+        true
+    }
+
+    /// Whether an injected death has poisoned the current execution.
+    pub fn poisoned(&self) -> bool {
+        self.current_world().fail_plane().poisoned()
+    }
+
+    /// The recorded death, if any.
+    pub fn death(&self) -> Option<RankDeath> {
+        self.current_world().fail_plane().death()
     }
 }
 

@@ -768,6 +768,12 @@ pub struct StoreRecord {
     /// Host wall seconds of encode+write retired off the critical path
     /// (zero for synchronous drains).
     pub overlapped_wall_s: f64,
+    /// Virtual second this generation becomes durable on its tier: for a
+    /// synchronous drain the ranks resume past it, for a background drain
+    /// the modeled landing point of the write window. The recovery path
+    /// treats a generation whose landing lies *after* an injected death as
+    /// never written — the drain was still in flight when the node died.
+    pub landing_v_s: f64,
 }
 
 #[cfg(test)]

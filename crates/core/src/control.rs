@@ -144,6 +144,12 @@ pub struct RankCtl {
     /// publishes its vcomm → new lower-CommId mapping here so the
     /// coordinator can re-deposit drained messages.
     pub replayed_comms: Mutex<HashMap<u64, mpisim::types::CommId>>,
+    /// Set when a fault injector declares this rank dead. One-way for the
+    /// life of a world attempt: a dead rank never meets another target and
+    /// never parks, so drain/quiesce accounting must treat it as finished
+    /// — otherwise the stall watchdog would report a spurious `P2pStall`
+    /// for a death the injector already published as a typed event.
+    dead: AtomicBool,
     /// Park/wake for quiesced ranks.
     park: Mutex<()>,
     park_cv: Condvar,
@@ -175,6 +181,7 @@ impl RankCtl {
             capture_slot: Mutex::new(None),
             new_world: Mutex::new(None),
             replayed_comms: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
             park: Mutex::new(()),
             park_cv: Condvar::new(),
             waker: Mutex::new(None),
@@ -187,6 +194,19 @@ impl RankCtl {
     /// never set it.
     pub fn set_waker(&self, w: Arc<dyn Fn() + Send + Sync>) {
         *self.waker.lock() = Some(w);
+    }
+
+    /// Declares this rank dead (fault injection). Not reset by checkpoint
+    /// resumes — only a fresh control plane (a recovery attempt's new
+    /// session) starts ranks alive again.
+    pub fn mark_dead(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a fault injector declared this rank dead.
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
     }
 
     /// Publishes a state transition.
@@ -426,11 +446,13 @@ impl CkptControl {
 
     /// Whether every rank currently reports all targets met. Finished
     /// ranks count as met: a correct MPI program cannot owe collective
-    /// calls after returning (its peers could never complete them).
+    /// calls after returning (its peers could never complete them). Dead
+    /// ranks count as met for the same reason — they will never drain
+    /// further, and their death is already a typed event, not a stall.
     pub fn all_targets_met(&self) -> bool {
-        self.ranks
-            .iter()
-            .all(|r| r.targets_met.load(Ordering::SeqCst) || r.state() == RankState::Finished)
+        self.ranks.iter().all(|r| {
+            r.targets_met.load(Ordering::SeqCst) || r.state() == RankState::Finished || r.is_dead()
+        })
     }
 
     /// Whether any rank is inside a real collective call.
@@ -440,9 +462,14 @@ impl CkptControl {
             .any(|r| r.in_collective.load(Ordering::SeqCst))
     }
 
-    /// Whether every rank is stably parked.
+    /// Whether every rank is stably parked. Dead ranks count as parked
+    /// (they are permanently quiet); callers that go on to capture must
+    /// check the fail plane first — a poisoned world has no capturable
+    /// safe state.
     pub fn all_parked(&self) -> bool {
-        self.ranks.iter().all(|r| r.state().is_parked())
+        self.ranks
+            .iter()
+            .all(|r| r.state().is_parked() || r.is_dead())
     }
 
     /// Minimum published virtual clock across ranks, in seconds.
@@ -552,6 +579,25 @@ mod tests {
         flag.store(true, Ordering::SeqCst);
         c.ranks[0].wake();
         t.join().unwrap();
+    }
+
+    #[test]
+    fn dead_ranks_satisfy_drain_and_park_checks() {
+        // Regression guard for the stall watchdog: a rank the injector
+        // declared dead never meets another target and never parks, so
+        // the drain/quiesce predicates must count it as satisfied — a
+        // live-looking straggler here is what used to surface as a
+        // spurious `P2pStall` for an already-published death.
+        let c = CkptControl::new(2);
+        c.ranks[0].targets_met.store(false, Ordering::SeqCst);
+        c.ranks[0].set_state(RankState::Running);
+        c.ranks[1].set_state(RankState::Quiesced);
+        assert!(!c.all_targets_met());
+        assert!(!c.all_parked());
+        c.ranks[0].mark_dead();
+        assert!(c.ranks[0].is_dead());
+        assert!(c.all_targets_met(), "a dead rank can never owe a target");
+        assert!(c.all_parked(), "a dead rank is permanently quiet");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! that the paper's §4.3 relies on.
 
 use crate::dtype::DType;
+use crate::fail::FailPlane;
 use crate::group::Group;
 use crate::mailbox::Mailbox;
 use crate::reduce_op::ReduceOp;
@@ -75,6 +76,9 @@ pub struct InstanceEnv {
     pub mailboxes: Vec<Arc<Mailbox>>,
     /// Scheduler run-slot count: the completion wakeup batch size.
     pub wake_batch: usize,
+    /// The world's fault-propagation plane: blocking waiters re-check it
+    /// on every wake and unwind instead of waiting on a dead peer.
+    pub fail: Arc<FailPlane>,
 }
 
 /// One participant's slot: written by its own rank at entry, harvested and
@@ -119,6 +123,8 @@ pub struct CollInstance {
     wake_batch: usize,
     /// Participant mailboxes, poked at completion.
     mailboxes: Vec<Arc<Mailbox>>,
+    /// Fault plane checked by blocking waiters (see [`InstanceEnv::fail`]).
+    fail: Arc<FailPlane>,
 }
 
 /// Result of one rank's participation.
@@ -166,6 +172,7 @@ impl CollInstance {
             cv: Condvar::new(),
             wake_batch: env.wake_batch.max(1),
             mailboxes: env.mailboxes,
+            fail: env.fail,
         }
     }
 
@@ -254,20 +261,35 @@ impl CollInstance {
     /// herd drains at the pace the scheduler can actually run it.
     pub fn wait_and_take(&self, group_rank: usize) -> CollResult {
         if !self.is_complete() {
-            let mut w = self.waiters.lock();
-            while !self.is_complete() {
-                *w += 1;
-                self.cv.wait(&mut w);
-                *w -= 1;
+            {
+                let mut w = self.waiters.lock();
+                while !self.is_complete() && !self.fail.poisoned() {
+                    *w += 1;
+                    self.cv.wait(&mut w);
+                    *w -= 1;
+                }
+                // Baton: if other waiters are still parked, wake exactly
+                // one. Every parked waiter is woken either directly by
+                // completion (or the poison broadcast) or by a
+                // predecessor's baton, so none is stranded.
+                if *w > 0 {
+                    self.cv.notify_one();
+                }
             }
-            // Baton: if other waiters are still parked, wake exactly one.
-            // Every parked waiter is woken either directly by completion
-            // or by a predecessor's baton, so none is stranded.
-            if *w > 0 {
-                self.cv.notify_one();
-            }
+            // Out of the waiter accounting and lock scope: a poisoned
+            // world unwinds here, with a peer possibly dead and the
+            // instance forever incomplete.
+            self.fail.die_if_poisoned();
         }
         self.take_from_slot(group_rank)
+    }
+
+    /// Wakes every waiter parked on this instance (poison broadcast):
+    /// they re-check the fail plane and unwind instead of waiting on a
+    /// dead participant.
+    pub fn poison_wake(&self) {
+        let _w = self.waiters.lock();
+        self.cv.notify_all();
     }
 
     /// Non-blocking collection: returns the result if complete.
@@ -541,6 +563,20 @@ impl CollRegistry {
         let inst = map.get(&key)?;
         Some((inst.arrived(), inst.size()))
     }
+
+    /// Poison broadcast: wakes every waiter parked on every in-flight
+    /// instance so they observe the fail plane. Part of
+    /// [`crate::World::poison_wake`].
+    pub fn poison_wake_all(&self) {
+        for shard in &self.shards {
+            // Clone the instances out so no waiter wakes into a held
+            // shard lock.
+            let insts: Vec<Arc<CollInstance>> = shard.lock().values().cloned().collect();
+            for inst in insts {
+                inst.poison_wake();
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -554,6 +590,7 @@ mod tests {
             topo: Topology::single_node(p),
             mailboxes: (0..p).map(|_| Arc::new(Mailbox::new())).collect(),
             wake_batch: 2,
+            fail: Arc::new(FailPlane::new()),
         }
     }
 

@@ -175,6 +175,10 @@ impl Ctx {
     /// external event source. Wall-clock only; virtual time is
     /// unaffected.
     pub fn park_briefly(&self) {
+        // Poll loops re-enter here on every iteration, so this is the
+        // poison observation point for every poll-driven wait: a killed
+        // world unwinds the rank instead of polling a dead peer forever.
+        self.world.fail_plane().die_if_poisoned();
         if self.world.sched.yield_now(self.world_rank) {
             let streak = self.yield_streak.get() + 1;
             if streak < YIELD_STREAK_NAP {
@@ -430,6 +434,10 @@ impl Ctx {
                         // Blocked receive: release the run slot while
                         // waiting on the mailbox (woken by deposits).
                         world.sched.blocking(rank, || loop {
+                            // A poisoned world wakes every mailbox; the
+                            // sender may be dead, so unwind rather than
+                            // re-park (the runner releases the slot).
+                            world.fail_plane().die_if_poisoned();
                             // Token before the scan: a deposit racing the
                             // scan is seen by `wait_activity_since`, so
                             // the long backstop is never paid for it.

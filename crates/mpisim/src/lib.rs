@@ -62,6 +62,7 @@ pub mod collective;
 pub mod comm;
 pub mod ctx;
 pub mod dtype;
+pub mod fail;
 pub mod group;
 pub mod mailbox;
 pub mod msg;
@@ -75,6 +76,7 @@ pub use collective::RedSpec;
 pub use comm::Comm;
 pub use ctx::Ctx;
 pub use dtype::DType;
+pub use fail::{FailPlane, FaultScope, KilledByFault, RankDeath};
 pub use group::Group;
 pub use msg::{SavedMsg, Status};
 pub use reduce_op::ReduceOp;

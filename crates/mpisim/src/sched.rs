@@ -82,6 +82,7 @@
 //! zero-timed-wakeup contract is asserted for both representations by
 //! the same [`WakeupStats`] block.
 
+use crate::fail::FailPlane;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -166,6 +167,11 @@ pub struct Scheduler {
     cvs: Vec<Condvar>,
     /// Shared backstop-expiry accounting for this world's wait paths.
     stats: Arc<WakeupStats>,
+    /// The fault-propagation plane shared by every wait path (and every
+    /// lower-half generation) built on this scheduler. Healthy runs never
+    /// touch it; a fault injector poisons it to abort the world promptly
+    /// with a typed [`crate::fail::RankDeath`].
+    fail: Arc<FailPlane>,
     /// Step-mode waker registry: installed by a [`StepDriver`] harness so
     /// that every lower-half generation built on this scheduler — the
     /// restart path creates fresh mailboxes mid-run — wires its event
@@ -195,8 +201,16 @@ impl Scheduler {
             }),
             cvs: (0..n_ranks).map(|_| Condvar::new()).collect(),
             stats: Arc::new(WakeupStats::default()),
+            fail: Arc::new(FailPlane::new()),
             step_wake: Mutex::new(None),
         })
+    }
+
+    /// The fault-propagation plane shared by every world generation built
+    /// on this scheduler. See [`crate::fail`].
+    #[inline]
+    pub fn fail_plane(&self) -> &Arc<FailPlane> {
+        &self.fail
     }
 
     /// Installs the step-mode wake routing: `f(rank)` must make `rank`

@@ -221,7 +221,29 @@ impl World {
                 .map(|&w| Arc::clone(&self.mailboxes[w]))
                 .collect(),
             wake_batch: self.sched.workers(),
+            fail: Arc::clone(self.sched.fail_plane()),
         }
+    }
+
+    /// The fault-propagation plane shared by every generation built on
+    /// this world's scheduler. See [`crate::fail`].
+    #[inline]
+    pub fn fail_plane(&self) -> &Arc<crate::fail::FailPlane> {
+        self.sched.fail_plane()
+    }
+
+    /// Poison broadcast for this lower half: after a fault injector
+    /// publishes a death on the fail plane, this wakes every sleeper that
+    /// parks on lower-half state — mailbox activity waits (receive parks,
+    /// `park_briefly`, step-rank wakers route through the mailbox waker)
+    /// and collective-instance condvars — so they observe the poison and
+    /// unwind promptly. Checkpoint-control parks live above this crate and
+    /// are woken by the caller.
+    pub fn poison_wake(&self) {
+        for mb in &self.mailboxes {
+            mb.notify_activity();
+        }
+        self.coll.poison_wake_all();
     }
 
     /// The cooperative rank scheduler this world's ranks run under.
